@@ -1,0 +1,1 @@
+bench/compilation.ml: Compact Data Formula Gen Hamming Horn List Logic Model_based Models Printf Qmc Report Result Revision Semantics Unix

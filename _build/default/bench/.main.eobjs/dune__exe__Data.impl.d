@@ -1,0 +1,1 @@
+bench/data.ml: Formula Gen List Logic Random Semantics Witness

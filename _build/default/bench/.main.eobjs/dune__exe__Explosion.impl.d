@@ -1,0 +1,1 @@
+bench/explosion.ml: Bdd Formula List Logic Models Qmc Report Revision Theory Witness

@@ -1,0 +1,1 @@
+bench/figure1.ml: Array Data List Logic Model_based Option Printf Report Result Revision Var

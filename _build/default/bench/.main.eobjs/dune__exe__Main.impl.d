@@ -1,0 +1,1 @@
+bench/main.ml: Array Compilation Explosion Figure1 List Postulates_bench Printf String Sys Table1 Table2 Timing Worked_examples

@@ -1,0 +1,1 @@
+bench/postulates_bench.ml: Data Gen Hashtbl List Logic Model_based Option Postulates Printf Report Revision

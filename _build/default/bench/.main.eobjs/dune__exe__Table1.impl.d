@@ -1,0 +1,1 @@
+bench/table1.ml: Bdd Compact Data Formula Formula_based Gen Interp List Logic Model_based Parser Printf Qmc Random Report Result Revision Semantics Theory Var Witness

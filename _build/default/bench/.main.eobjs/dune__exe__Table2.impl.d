@@ -1,0 +1,1 @@
+bench/table2.ml: Array Bdd Compact Data Formula Gen Iterate List Logic Model_based Operator Parser Printf Qbf Qmc Report Result Revision Theory Witness

@@ -1,0 +1,1 @@
+bench/timing.ml: Analyze Bdd Bechamel Benchmark Compact Data Float Formula Gen Hamming Hashtbl List Logic Measure Models Printf Qmc Report Revision Semantics Staged Test Time Toolkit Var Witness

@@ -1,0 +1,1 @@
+bench/worked_examples.ml: Compact Format Formula Interp Iterate List Logic Model_based Operator Parser Printf Report Result Revision String Var

@@ -1,0 +1,47 @@
+(* Shared workload generators for the benchmark sweeps.  All random data
+   is drawn from fixed seeds so every run regenerates identical tables. *)
+
+open Logic
+
+let seed = [| 19951 |]
+
+let fresh_state () = Random.State.copy (Random.State.make seed)
+
+let rec sat_formula st ~vars ~depth =
+  let f = Gen.formula st ~vars ~depth in
+  if Semantics.is_sat f then f else sat_formula st ~vars ~depth
+
+(* A random satisfiable (T, P) pair over an n-letter alphabet. *)
+let random_tp st n =
+  let vars = Gen.letters n in
+  (vars, sat_formula st ~vars ~depth:3, sat_formula st ~vars ~depth:3)
+
+(* A bounded instance: T over n letters, P over the first k. *)
+let random_bounded_tp st n k =
+  let vars = Gen.letters n in
+  let pvars = List.filteri (fun i _ -> i < k) vars in
+  (vars, sat_formula st ~vars ~depth:3, sat_formula st ~vars:pvars ~depth:2)
+
+(* A "fact base" theory of n_facts literals plus constraints, with a small
+   update touching [k] letters — the database-flavoured workload from the
+   introduction (large T, small P). *)
+let fact_base n_facts =
+  let vars = Gen.letters n_facts in
+  Formula.and_ (List.map Formula.var vars)
+
+let small_update k =
+  Formula.or_
+    (List.map (fun v -> Formula.not_ (Formula.var v))
+       (List.filteri (fun i _ -> i < k) (Gen.letters k)))
+
+(* Sub-universes of the n=3 clause universe for reduction sweeps. *)
+let random_sub_universe st ?(max_clauses = 3) () =
+  let k = 1 + Random.State.int st max_clauses in
+  let idxs =
+    List.sort_uniq compare (List.init k (fun _ -> Random.State.int st 8))
+  in
+  Witness.Threesat.sub_universe 3 idxs
+
+let random_pi st u =
+  Witness.Threesat.random_instance st u
+    ~nclauses:(1 + Random.State.int st (Witness.Threesat.size u))

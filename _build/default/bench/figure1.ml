@@ -1,0 +1,74 @@
+(* Figure 1: containment between the model sets of the six model-based
+   operators.  We sweep random satisfiable (T, P) pairs and count, for
+   every ordered operator pair, how often M(T *_i P) ⊆ M(T *_j P) fails.
+   Zero failures across the sweep reproduces an arrow of Figure 1; for
+   every non-arrow the sweep exhibits a violation count (a strictness
+   witness). *)
+
+open Logic
+open Revision
+
+(* The containments Figure 1 asserts (small ⊆ large). *)
+let paper_arrows =
+  [
+    (Model_based.Dalal, Model_based.Satoh);
+    (Model_based.Dalal, Model_based.Forbus);
+    (Model_based.Satoh, Model_based.Winslett);
+    (Model_based.Satoh, Model_based.Borgida);
+    (Model_based.Satoh, Model_based.Weber);
+    (Model_based.Forbus, Model_based.Winslett);
+    (Model_based.Borgida, Model_based.Winslett);
+  ]
+
+let run () =
+  Report.section "Figure 1: containment between revised model sets";
+  let st = Data.fresh_state () in
+  let ops = Model_based.all in
+  let nops = List.length ops in
+  let fails = Array.make_matrix nops nops 0 in
+  let trials = 400 in
+  let performed = ref 0 in
+  for _ = 1 to trials do
+    let vars, t, p = Data.random_tp st 4 in
+    incr performed;
+    let ms =
+      List.map (fun op -> Result.models (Model_based.revise_on op vars t p)) ops
+    in
+    let subset a b =
+      List.for_all (fun x -> List.exists (Var.Set.equal x) b) a
+    in
+    List.iteri
+      (fun i mi ->
+        List.iteri
+          (fun j mj ->
+            if i <> j && not (subset mi mj) then
+              fails.(i).(j) <- fails.(i).(j) + 1)
+          ms)
+      ms
+  done;
+  Report.para
+    (Printf.sprintf
+       "%d random satisfiable (T, P) pairs over 4 letters; cell (row, col) counts\n\
+        violations of  M(T *row P) ⊆ M(T *col P).  0 = containment observed."
+       !performed);
+  let name i = Model_based.name (List.nth ops i) in
+  Report.table
+    ("row\\col" :: List.map Model_based.name ops)
+    (List.init nops (fun i ->
+         name i
+         :: List.init nops (fun j ->
+                if i = j then "-" else string_of_int fails.(i).(j))));
+  Report.subsection "Figure 1 arrows";
+  Report.table
+    [ "containment"; "violations"; "reproduced" ]
+    (List.map
+       (fun (a, b) ->
+         let i = Option.get (List.find_index (fun o -> o = a) ops) in
+         let j = Option.get (List.find_index (fun o -> o = b) ops) in
+         [
+           Printf.sprintf "M(T *%s P) ⊆ M(T *%s P)" (Model_based.name a)
+             (Model_based.name b);
+           string_of_int fails.(i).(j);
+           Report.check (fails.(i).(j) = 0);
+         ])
+       paper_arrows)

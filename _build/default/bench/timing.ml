@@ -1,0 +1,145 @@
+(* Bechamel micro-benchmarks.  The paper reports no wall-clock numbers
+   (it is a complexity paper); these timings document the cost profile of
+   this implementation: one Test.make per table-driving computation. *)
+
+open Bechamel
+open Logic
+
+let fixed_instance () =
+  let st = Data.fresh_state () in
+  let vars = Gen.letters 7 in
+  let t = Data.sat_formula st ~vars ~depth:3 in
+  let p = Data.sat_formula st ~vars ~depth:3 in
+  (vars, t, p)
+
+let make_tests () =
+  let vars, t, p = fixed_instance () in
+  let revise_tests =
+    List.map
+      (fun op ->
+        Test.make
+          ~name:(Printf.sprintf "revise/%s" (Revision.Model_based.name op))
+          (Staged.stage (fun () ->
+               ignore (Revision.Model_based.revise_on op vars t p))))
+      Revision.Model_based.all
+  in
+  let st = Data.fresh_state () in
+  let cnf = Gen.cnf3 st ~vars:(Gen.letters 40) ~nclauses:168 in
+  let sat_test =
+    Test.make ~name:"sat/3cnf-40v-168c"
+      (Staged.stage (fun () -> ignore (Semantics.is_sat cnf)))
+  in
+  let exa_test =
+    let xs = Gen.letters ~prefix:"bx" 20 and ys = Gen.letters ~prefix:"by" 20 in
+    Test.make ~name:"exa/build-n20-k10"
+      (Staged.stage (fun () -> ignore (Hamming.exa 10 xs ys)))
+  in
+  let dalal_compact_test =
+    Test.make ~name:"table1/dalal-compact-n7"
+      (Staged.stage (fun () -> ignore (Compact.Dalal_compact.revise t p)))
+  in
+  let worlds_test =
+    let ex = Witness.Winslett_example.make 4 in
+    Test.make ~name:"table1/gfuv-worlds-winslett-m4"
+      (Staged.stage (fun () ->
+           ignore
+             (Revision.Formula_based.worlds ex.Witness.Winslett_example.t2
+                ex.Witness.Winslett_example.p2)))
+  in
+  let iterated_test =
+    let ps = List.init 3 (fun _ -> Data.sat_formula st ~vars ~depth:2) in
+    Test.make ~name:"table2/iterated-dalal-phi3"
+      (Staged.stage (fun () -> ignore (Compact.Iterated.dalal t ps)))
+  in
+  let qmc_test =
+    let ms = Models.enumerate vars t in
+    Test.make ~name:"structures/qmc-7v"
+      (Staged.stage (fun () -> ignore (Qmc.minimize vars ms)))
+  in
+  let bdd_test =
+    Test.make ~name:"structures/bdd-7v"
+      (Staged.stage (fun () ->
+           let mgr = Bdd.manager vars in
+           ignore (Bdd.node_count (Bdd.of_formula mgr t))))
+  in
+  let check_tests =
+    let letters = Gen.letters 30 in
+    let big_t = Formula.and_ (List.map Formula.var letters) in
+    let big_p =
+      Formula.and_
+        [
+          Formula.not_ (Formula.var (List.nth letters 0));
+          Formula.not_ (Formula.var (List.nth letters 1));
+        ]
+    in
+    let n =
+      Var.Set.remove (List.nth letters 0)
+        (Var.Set.remove (List.nth letters 1) (Var.set_of_list letters))
+    in
+    [
+      Test.make ~name:"check/dalal-model-check-30v"
+        (Staged.stage (fun () ->
+             ignore
+               (Compact.Check.model_check Revision.Model_based.Dalal big_t
+                  big_p n)));
+      Test.make ~name:"check/winslett-model-check-30v"
+        (Staged.stage (fun () ->
+             ignore
+               (Compact.Check.model_check Revision.Model_based.Winslett big_t
+                  big_p n)));
+      Test.make ~name:"check/dalal-entails-30v"
+        (Staged.stage (fun () ->
+             ignore
+               (Compact.Check.entails Revision.Model_based.Dalal big_t big_p
+                  (Formula.var (List.nth letters 17)))));
+    ]
+  in
+  Test.make_grouped ~name:"revkb"
+    (revise_tests @ check_tests
+    @ [
+        sat_test;
+        exa_test;
+        dalal_compact_test;
+        worlds_test;
+        iterated_test;
+        qmc_test;
+        bdd_test;
+      ])
+
+let run () =
+  Report.section "Timing (bechamel, monotonic clock)";
+  let tests = make_tests () in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None ()
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name est acc ->
+        let ns =
+          match Analyze.OLS.estimates est with
+          | Some [ t ] -> t
+          | _ -> nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Report.table
+    [ "benchmark"; "time/run" ]
+    (List.map
+       (fun (name, ns) ->
+         let human =
+           if Float.is_nan ns then "n/a"
+           else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+           else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+           else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+           else Printf.sprintf "%.0f ns" ns
+         in
+         [ name; human ])
+       rows)

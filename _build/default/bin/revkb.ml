@@ -1,0 +1,541 @@
+(* revkb — command-line interface to the belief-revision library.
+
+   Subcommands:
+     revise   apply a revision operator, print models / formula / answer
+     compact  build a compact representation (Theorems 3.4/3.5, Section 4/5/6)
+     worlds   enumerate W(T, P) — the maximal consistent subsets
+     sat      run the bundled CDCL solver on a DIMACS file
+     family   generate a witness family instance (Theorems 3.1/3.3/3.6/6.5)
+
+   Examples:
+     revkb revise -o dalal -t 'a & b' -p '~a' --models
+     revkb revise -o gfuv -T kb.txt -p '~b' -q 'a'
+     revkb compact -o dalal -t 'a & b & c' -p '~a | ~b'
+     revkb compact -o winslett --bounded -t 'a & b & c' -p '~a'
+     revkb worlds -T kb.txt -p '~b'
+     revkb sat problem.cnf *)
+
+open Cmdliner
+open Logic
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* -- shared arguments ------------------------------------------------------ *)
+
+let theory_args =
+  let t_inline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "t"; "theory-inline" ] ~docv:"FORMULAS"
+          ~doc:"The knowledge base, inline (formulas separated by ';').")
+  in
+  let t_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "T"; "theory-file" ] ~docv:"FILE"
+          ~doc:"File holding the knowledge base, one formula per line.")
+  in
+  let combine inline file =
+    match (inline, file) with
+    | Some s, None -> `Ok (Parser.theory_of_string s)
+    | None, Some path -> `Ok (Parser.theory_of_string (read_file path))
+    | None, None -> `Error (true, "a theory is required: use -t or -T")
+    | Some _, Some _ -> `Error (true, "use only one of -t / -T")
+  in
+  Term.(ret (const combine $ t_inline $ t_file))
+
+let p_arg =
+  let doc = "The revising formula P." in
+  Arg.(required & opt (some string) None & info [ "p" ] ~docv:"FORMULA" ~doc)
+
+let ps_arg =
+  let doc =
+    "Further revising formulas, applied left to right after $(b,-p) \
+     (iterated revision)."
+  in
+  Arg.(value & opt_all string [] & info [ "then" ] ~docv:"FORMULA" ~doc)
+
+let op_arg =
+  let doc =
+    "Revision operator: gfuv, widtio, nebel, winslett, borgida, forbus, \
+     satoh, dalal or weber."
+  in
+  let parse s =
+    match Revision.Operator.of_name s with
+    | Some op -> Ok op
+    | None -> Error (`Msg (Printf.sprintf "unknown operator %S" s))
+  in
+  let print ppf op = Format.pp_print_string ppf (Revision.Operator.name op) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Revision.Operator.Dalal
+    & info [ "o"; "operator" ] ~docv:"OP" ~doc)
+
+let parse_formula s =
+  try Parser.formula_of_string s
+  with Parser.Syntax_error msg ->
+    Printf.eprintf "syntax error in %S: %s\n" s msg;
+    exit 2
+
+(* -- revise ----------------------------------------------------------------- *)
+
+let revise_cmd =
+  let models_flag =
+    Arg.(value & flag & info [ "models" ] ~doc:"Print the model set.")
+  in
+  let dnf_flag =
+    Arg.(value & flag & info [ "dnf" ] ~doc:"Print the naive DNF formula.")
+  in
+  let min_flag =
+    Arg.(
+      value & flag
+      & info [ "minimized" ] ~doc:"Print the Quine-McCluskey minimized DNF.")
+  in
+  let query =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "q"; "query" ] ~docv:"FORMULA"
+          ~doc:"Decide T * P |= Q and print the answer.")
+  in
+  let run theory op p ps models_flag dnf_flag min_flag query =
+    let p = parse_formula p in
+    let ps = List.map parse_formula ps in
+    let result =
+      match ps with
+      | [] -> Revision.Operator.revise op theory p
+      | _ -> Revision.Iterate.revise_seq op theory (p :: ps)
+    in
+    let default = not (models_flag || dnf_flag || min_flag || query <> None) in
+    if models_flag || default then
+      Format.printf "%a@." Revision.Result.pp result;
+    if dnf_flag then
+      Format.printf "dnf: %a@." Formula.pp (Revision.Result.to_dnf result);
+    if min_flag then
+      Format.printf "minimized: %a@." Formula.pp
+        (Revision.Result.to_minimized_dnf result);
+    (match query with
+    | Some q ->
+        let q = parse_formula q in
+        Format.printf "T * P |= %a : %b@." Formula.pp q
+          (Revision.Result.entails result q)
+    | None -> ());
+    0
+  in
+  let term =
+    Term.(
+      const run $ theory_args $ op_arg $ p_arg $ ps_arg $ models_flag
+      $ dnf_flag $ min_flag $ query)
+  in
+  Cmd.v
+    (Cmd.info "revise" ~doc:"Apply a revision operator to a knowledge base.")
+    term
+
+(* -- compact ------------------------------------------------------------------ *)
+
+let compact_cmd =
+  let bounded_flag =
+    Arg.(
+      value & flag
+      & info [ "bounded" ]
+          ~doc:
+            "Use the bounded-|P| constructions of Section 4 (formulas \
+             (5)-(9); logically equivalent, no new letters).")
+  in
+  let run theory op p ps bounded =
+    let t = Theory.conj theory in
+    let p = parse_formula p in
+    let ps = List.map parse_formula ps in
+    let mop =
+      match op with
+      | Revision.Operator.Winslett -> Revision.Model_based.Winslett
+      | Revision.Operator.Borgida -> Revision.Model_based.Borgida
+      | Revision.Operator.Forbus -> Revision.Model_based.Forbus
+      | Revision.Operator.Satoh -> Revision.Model_based.Satoh
+      | Revision.Operator.Dalal -> Revision.Model_based.Dalal
+      | Revision.Operator.Weber -> Revision.Model_based.Weber
+      | _ ->
+          Printf.eprintf
+            "compact representations exist for the model-based operators \
+             (and trivially for WIDTIO)\n";
+          exit 2
+    in
+    let formula =
+      match (ps, bounded) with
+      | [], false -> (
+          match mop with
+          | Revision.Model_based.Dalal -> Compact.Dalal_compact.revise t p
+          | Revision.Model_based.Weber -> Compact.Weber_compact.revise t p
+          | _ -> Compact.Iterated_bounded.for_op mop t [ p ])
+      | [], true -> Compact.Bounded.for_op mop t p
+      | ps, _ -> Compact.Iterated_bounded.for_op mop t (p :: ps)
+    in
+    Format.printf "%a@." Formula.pp formula;
+    Format.printf "# size %d (input %d)@." (Formula.size formula)
+      (Formula.size t + Formula.size p
+      + List.fold_left (fun acc q -> acc + Formula.size q) 0 ps);
+    0
+  in
+  let term =
+    Term.(
+      const run $ theory_args $ op_arg $ p_arg $ ps_arg $ bounded_flag)
+  in
+  Cmd.v
+    (Cmd.info "compact"
+       ~doc:
+         "Build a compact representation of the revised knowledge base \
+          (Theorems 3.4/3.5, Sections 4-6).")
+    term
+
+(* -- worlds ------------------------------------------------------------------- *)
+
+let worlds_cmd =
+  let run theory p =
+    let p = parse_formula p in
+    let ws = Revision.Formula_based.worlds theory p in
+    Format.printf "%d possible world(s):@." (List.length ws);
+    List.iter (fun w -> Format.printf "  %a@." Theory.pp w) ws;
+    let widtio = Revision.Formula_based.widtio theory p in
+    Format.printf "WIDTIO: %a@." Theory.pp widtio;
+    0
+  in
+  let term = Term.(const run $ theory_args $ p_arg) in
+  Cmd.v
+    (Cmd.info "worlds"
+       ~doc:"Enumerate W(T, P): the maximal subsets of T consistent with P.")
+    term
+
+(* -- sat ---------------------------------------------------------------------- *)
+
+let sat_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"DIMACS CNF file.")
+  in
+  let run path =
+    let _, clauses = Satsolver.Dimacs.parse_file path in
+    let solver = Satsolver.Solver.create () in
+    Satsolver.Dimacs.load solver clauses;
+    if Satsolver.Solver.solve solver then begin
+      print_endline "s SATISFIABLE";
+      let model = Satsolver.Solver.model solver in
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf "v ";
+      Array.iteri
+        (fun v b ->
+          Buffer.add_string buf (string_of_int (if b then v + 1 else -(v + 1)));
+          Buffer.add_char buf ' ')
+        model;
+      Buffer.add_string buf "0";
+      print_endline (Buffer.contents buf);
+      0
+    end
+    else begin
+      print_endline "s UNSATISFIABLE";
+      0
+    end
+  in
+  Cmd.v
+    (Cmd.info "sat" ~doc:"Run the bundled CDCL solver on a DIMACS file.")
+    Term.(const run $ file)
+
+(* -- family ------------------------------------------------------------------- *)
+
+let family_cmd =
+  let which =
+    Arg.(
+      required
+      & pos 0 (some (enum
+             [
+               ("gfuv", `Gfuv);
+               ("forbus", `Forbus);
+               ("dalal", `Dalal);
+               ("iterated", `Iterated);
+               ("nebel", `Nebel);
+               ("winslett", `Winslett);
+             ])) None
+      & info [] ~docv:"FAMILY"
+          ~doc:
+            "Witness family: gfuv (Thm 3.1), forbus (Thm 3.3), dalal (Thm \
+             3.6), iterated (Thm 6.5), nebel or winslett (Section 3.1 \
+             examples).")
+  in
+  let size =
+    Arg.(
+      value & opt int 3
+      & info [ "n" ] ~docv:"N"
+          ~doc:"Parameter: number of 3-SAT atoms, or m for the examples.")
+  in
+  let run which n =
+    (match which with
+    | `Gfuv ->
+        let fam = Witness.Gfuv_family.make (Witness.Threesat.full_universe n) in
+        Format.printf "# T_n (%d atomic facts):@.%a@.# P_n:@.%a@."
+          (List.length fam.Witness.Gfuv_family.t_n)
+          Theory.pp fam.Witness.Gfuv_family.t_n Formula.pp
+          fam.Witness.Gfuv_family.p_n
+    | `Forbus ->
+        let fam =
+          Witness.Forbus_family.make (Witness.Threesat.full_universe n)
+        in
+        Format.printf "# T_n:@.%a@.# P_n:@.%a@." Theory.pp
+          fam.Witness.Forbus_family.t_n Formula.pp
+          fam.Witness.Forbus_family.p_n
+    | `Dalal ->
+        let fam =
+          Witness.Dalal_family.make (Witness.Threesat.full_universe n)
+        in
+        Format.printf "# T_n:@.%a@.# P_n:@.%a@." Formula.pp
+          fam.Witness.Dalal_family.t_n Formula.pp fam.Witness.Dalal_family.p_n
+    | `Iterated ->
+        let fam =
+          Witness.Iterated_family.make (Witness.Threesat.full_universe n)
+        in
+        Format.printf "# T_n:@.%a@." Formula.pp
+          fam.Witness.Iterated_family.t_n;
+        List.iteri
+          (fun i p -> Format.printf "# P%d:@.%a@." (i + 1) Formula.pp p)
+          fam.Witness.Iterated_family.ps
+    | `Nebel ->
+        let ex = Witness.Nebel_example.make n in
+        Format.printf "# T1:@.%a@.# P1:@.%a@.# worlds: %d@." Theory.pp
+          ex.Witness.Nebel_example.t1 Formula.pp ex.Witness.Nebel_example.p1
+          (Witness.Nebel_example.world_count ex)
+    | `Winslett ->
+        let ex = Witness.Winslett_example.make n in
+        Format.printf "# T2:@.%a@.# P2:@.%a@.# worlds: %d@." Theory.pp
+          ex.Witness.Winslett_example.t2 Formula.pp
+          ex.Witness.Winslett_example.p2
+          (Witness.Winslett_example.world_count ex));
+    0
+  in
+  Cmd.v
+    (Cmd.info "family"
+       ~doc:"Generate a hardness witness family (Sections 3-6).")
+    Term.(const run $ which $ size)
+
+(* -- check -------------------------------------------------------------------- *)
+
+let check_cmd =
+  let interp_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "m"; "model" ] ~docv:"LETTERS"
+          ~doc:
+            "Interpretation to check, as a comma-separated list of the true              letters (empty string for the all-false interpretation).")
+  in
+  let run theory op p m =
+    let t = Theory.conj theory in
+    let p = parse_formula p in
+    let interp =
+      if String.trim m = "" then Var.Set.empty
+      else
+        Var.set_of_list
+          (List.map
+             (fun x -> Var.named (String.trim x))
+             (String.split_on_char ',' m))
+    in
+    let mop =
+      match op with
+      | Revision.Operator.Winslett -> Revision.Model_based.Winslett
+      | Revision.Operator.Borgida -> Revision.Model_based.Borgida
+      | Revision.Operator.Forbus -> Revision.Model_based.Forbus
+      | Revision.Operator.Satoh -> Revision.Model_based.Satoh
+      | Revision.Operator.Dalal -> Revision.Model_based.Dalal
+      | Revision.Operator.Weber -> Revision.Model_based.Weber
+      | _ ->
+          Printf.eprintf
+            "SAT-based model checking covers the model-based operators
+";
+          exit 2
+    in
+    Format.printf "M |= T * P : %b@."
+      (Compact.Check.model_check mop t p interp);
+    0
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "SAT-based model checking M |= T * P (no model enumeration; scales           to large alphabets).")
+    Term.(const run $ theory_args $ op_arg $ p_arg $ interp_arg)
+
+(* -- repl --------------------------------------------------------------------- *)
+
+let repl_cmd =
+  let op_default =
+    Arg.(
+      value
+      & opt string "dalal"
+      & info [ "o"; "operator" ] ~docv:"OP" ~doc:"Initial operator.")
+  in
+  let run opname theory_opt =
+    let op =
+      match Revision.Operator.of_name opname with
+      | Some op -> op
+      | None ->
+          Printf.eprintf "unknown operator %S\n" opname;
+          exit 2
+    in
+    let base = Option.value ~default:[] theory_opt in
+    let session = ref (Compact.Session.create ~op base) in
+    let base_ref = ref base in
+    print_endline
+      "revkb interactive session (paper section 6.2 strategy: revisions are";
+    print_endline
+      "logged and incorporated on access).  Type 'help' for commands.";
+    let help () =
+      print_string
+        {|  assert FORMULA   add a formula to the base theory (resets the log)
+  revise FORMULA   log a revision (incorporated lazily)
+  ask FORMULA      decide  T * P1 * ... * Pm |= FORMULA
+  models           print the current model set
+  compile          print a query-equivalent compact representation
+  log              show the revision log
+  show             show the base theory and operator
+  op NAME          switch operator (keeps base, resets the log)
+  reset            drop the revision log
+  quit             exit
+|}
+    in
+    let handle line =
+      let line = String.trim line in
+      let cmd, arg =
+        match String.index_opt line ' ' with
+        | None -> (line, "")
+        | Some i ->
+            ( String.sub line 0 i,
+              String.trim (String.sub line i (String.length line - i)) )
+      in
+      match cmd with
+      | "" -> true
+      | "help" ->
+          help ();
+          true
+      | "quit" | "exit" -> false
+      | "assert" ->
+          (try
+             let f = Parser.formula_of_string arg in
+             base_ref := !base_ref @ [ f ];
+             session :=
+               Compact.Session.create ~op:(Compact.Session.op !session)
+                 !base_ref;
+             Format.printf "base now has %d formula(s)@."
+               (List.length !base_ref)
+           with Parser.Syntax_error m -> Printf.printf "syntax error: %s\n" m);
+          true
+      | "revise" ->
+          (try
+             Compact.Session.revise !session (Parser.formula_of_string arg);
+             Format.printf "logged (%d pending revision(s))@."
+               (List.length (Compact.Session.log !session))
+           with
+          | Parser.Syntax_error m -> Printf.printf "syntax error: %s\n" m
+          | Invalid_argument m -> Printf.printf "error: %s\n" m);
+          true
+      | "ask" ->
+          (try
+             let q = Parser.formula_of_string arg in
+             Format.printf "%b@." (Compact.Session.ask !session q)
+           with
+          | Parser.Syntax_error m -> Printf.printf "syntax error: %s\n" m
+          | Invalid_argument m -> Printf.printf "error: %s\n" m);
+          true
+      | "models" ->
+          (try
+             Format.printf "%a@." Revision.Result.pp
+               (Compact.Session.result !session)
+           with Invalid_argument m -> Printf.printf "error: %s\n" m);
+          true
+      | "compile" ->
+          (try
+             let f = Compact.Session.compile !session in
+             Format.printf "%a@.# size %d@." Formula.pp f (Formula.size f)
+           with Invalid_argument m -> Printf.printf "error: %s\n" m);
+          true
+      | "log" ->
+          List.iteri
+            (fun i p -> Format.printf "P%d = %a@." (i + 1) Formula.pp p)
+            (Compact.Session.log !session);
+          true
+      | "show" ->
+          Format.printf "operator: %s@.base: %a@."
+            (Revision.Operator.name (Compact.Session.op !session))
+            Theory.pp !base_ref;
+          true
+      | "op" ->
+          (match Revision.Operator.of_name arg with
+          | Some op ->
+              session := Compact.Session.create ~op !base_ref;
+              Format.printf "operator set to %s (log reset)@."
+                (Revision.Operator.name op)
+          | None -> Printf.printf "unknown operator %S\n" arg);
+          true
+      | "reset" ->
+          session :=
+            Compact.Session.create ~op:(Compact.Session.op !session) !base_ref;
+          print_endline "log cleared";
+          true
+      | other ->
+          Printf.printf "unknown command %S (try 'help')\n" other;
+          true
+    in
+    let rec loop () =
+      print_string "revkb> ";
+      match read_line () with
+      | exception End_of_file -> ()
+      | line -> if handle line then loop ()
+    in
+    loop ();
+    0
+  in
+  let theory_opt =
+    let t_file =
+      Arg.(
+        value
+        & opt (some file) None
+        & info [ "T"; "theory-file" ] ~docv:"FILE"
+            ~doc:"Initial knowledge base, one formula per line.")
+    in
+    Term.(
+      const (Option.map (fun p -> Parser.theory_of_string (read_file p)))
+      $ t_file)
+  in
+  Cmd.v
+    (Cmd.info "repl"
+       ~doc:
+         "Interactive session: log revisions, incorporate on access           (Section 6.2 strategy).")
+    Term.(const run $ op_default $ theory_opt)
+
+let () =
+  let default =
+    Term.(ret (const (`Help (`Pager, None))))
+  in
+  let info =
+    Cmd.info "revkb" ~version:"1.0.0"
+      ~doc:
+        "Belief revision operators, their compact representations, and the \
+         witness families from 'The Size of a Revised Knowledge Base' \
+         (PODS'95)."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default info
+          [
+            revise_cmd;
+            compact_cmd;
+            worlds_cmd;
+            sat_cmd;
+            family_cmd;
+            check_cmd;
+            repl_cmd;
+          ]))

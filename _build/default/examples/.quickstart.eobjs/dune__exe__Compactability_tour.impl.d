@@ -1,0 +1,1 @@
+examples/compactability_tour.ml: Compact Format Formula List Logic Parser Random Revision String Theory Witness

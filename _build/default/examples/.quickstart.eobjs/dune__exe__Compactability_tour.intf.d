@@ -1,0 +1,1 @@
+examples/compactability_tour.mli:

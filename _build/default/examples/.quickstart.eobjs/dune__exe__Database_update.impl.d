@@ -1,0 +1,1 @@
+examples/database_update.ml: Compact Format Formula Formula_based List Logic Model_based Models Parser Result Revision Theory

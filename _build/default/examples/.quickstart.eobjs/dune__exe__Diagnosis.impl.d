@@ -1,0 +1,1 @@
+examples/diagnosis.ml: Compact Format Formula Interp Iterate List Logic Model_based Models Operator Parser Result Revision

@@ -1,0 +1,1 @@
+examples/large_scale.ml: Compact Format Formula Gen List Logic Parser Revision Semantics Unix Var

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Compact Format Formula Formula_based Interp List Logic Model_based Parser Result Revision Theory

@@ -1,0 +1,1 @@
+lib/compact/bounded.ml: Formula Interp List Logic Measure Revision Semantics Var

@@ -1,0 +1,1 @@
+lib/compact/bounded.mli: Formula Logic Revision

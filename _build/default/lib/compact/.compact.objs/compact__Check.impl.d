@@ -1,0 +1,1 @@
+lib/compact/check.ml: Dalal_compact Formula Hamming Interp Iterated_bounded List Logic Measure Names Revision Semantics Var Weber_compact

@@ -1,0 +1,1 @@
+lib/compact/check.mli: Formula Interp Logic Revision Var

@@ -1,0 +1,1 @@
+lib/compact/dalal_compact.ml: Formula Hamming List Logic Names Semantics Var

@@ -1,0 +1,1 @@
+lib/compact/dalal_compact.mli: Formula Logic Var

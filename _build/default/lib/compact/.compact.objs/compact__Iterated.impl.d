@@ -1,0 +1,1 @@
+lib/compact/iterated.ml: Formula Hamming List Logic Measure Names Printf Semantics Var

@@ -1,0 +1,1 @@
+lib/compact/iterated.mli: Formula Logic

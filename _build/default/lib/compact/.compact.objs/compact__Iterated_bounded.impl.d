@@ -1,0 +1,1 @@
+lib/compact/iterated_bounded.ml: Formula Hamming Iterated List Logic Measure Names Qbf Revision Semantics Var

@@ -1,0 +1,1 @@
+lib/compact/iterated_bounded.mli: Formula Logic Qbf Revision

@@ -1,0 +1,1 @@
+lib/compact/measure.ml: Formula Interp List Logic Names Semantics Var

@@ -1,0 +1,1 @@
+lib/compact/measure.mli: Formula Logic Var

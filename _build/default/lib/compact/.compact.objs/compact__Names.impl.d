@@ -1,0 +1,1 @@
+lib/compact/names.ml: List Logic Var

@@ -1,0 +1,1 @@
+lib/compact/names.mli: Logic Var

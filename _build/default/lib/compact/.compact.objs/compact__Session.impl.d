@@ -1,0 +1,1 @@
+lib/compact/session.ml: Formula Iterated Iterated_bounded List Logic Models Revision Theory Var

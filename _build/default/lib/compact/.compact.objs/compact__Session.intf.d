@@ -1,0 +1,1 @@
+lib/compact/session.mli: Formula Interp Logic Revision Theory Var

@@ -1,0 +1,1 @@
+lib/compact/verify.ml: Formula List Logic Models Revision Semantics Var

@@ -1,0 +1,1 @@
+lib/compact/verify.mli: Formula Logic Revision

@@ -1,0 +1,1 @@
+lib/compact/weber_compact.ml: Formula List Logic Measure Names Var

@@ -1,0 +1,1 @@
+lib/compact/weber_compact.mli: Formula Logic Var

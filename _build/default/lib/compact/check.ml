@@ -1,0 +1,150 @@
+open Logic
+module MB = Revision.Model_based
+
+let joint t p =
+  Var.Set.elements (Var.Set.union (Formula.vars t) (Formula.vars p))
+
+(* Minimum Hamming distance between the fixed interpretation [n] and a
+   model of [f], by probing f ∧ EXA(k, X, N) with the N side pinned to
+   constants. *)
+let dist_to f n alphabet =
+  if not (Semantics.is_sat f) then None
+  else begin
+    let avoid = Var.set_of_list alphabet in
+    let ys = Names.copy ~avoid ~suffix:"_d" alphabet in
+    let pin =
+      Formula.and_
+        (List.map2
+           (fun x y ->
+             if Var.Set.mem x n then Formula.var y
+             else Formula.not_ (Formula.var y))
+           alphabet ys)
+    in
+    let len = List.length alphabet in
+    let rec probe k =
+      if k > len then None
+      else begin
+        let exa_k, _ = Hamming.exa k alphabet ys in
+        if Semantics.is_sat (Formula.and_ [ f; pin; exa_k ]) then Some k
+        else probe (k + 1)
+      end
+    in
+    probe 0
+  end
+
+(* CEGAR for the pointwise operators.  [refutes m] must return true when
+   the witness [m] does NOT select [n]; witnesses are drawn from the
+   models of [t] and blocked one by one. *)
+let exists_witness ~cap t alphabet refutes =
+  let env = Semantics.create () in
+  List.iter (fun x -> ignore (Semantics.lit_of_var env x)) alphabet;
+  Semantics.assert_formula env t;
+  let rec loop i =
+    if i > cap then failwith "Compact.Check: CEGAR cap exceeded"
+    else if not (Semantics.solve env) then false
+    else begin
+      let m = Semantics.model_on env alphabet in
+      if refutes m then begin
+        Semantics.block env alphabet m;
+        loop (i + 1)
+      end
+      else true
+    end
+  in
+  loop 0
+
+(* Is there a model of [p] strictly closer (inclusion-wise) to [m] than
+   [n] is?  One SAT call: pin agreement outside the difference, require
+   strict containment. *)
+let closer_by_inclusion p alphabet m n =
+  let d = Interp.sym_diff m n in
+  if Var.Set.is_empty d then false
+  else begin
+    let agree =
+      Formula.and_
+        (List.filter_map
+           (fun x ->
+             if Var.Set.mem x d then None
+             else
+               Some
+                 (if Var.Set.mem x m then Formula.var x
+                  else Formula.not_ (Formula.var x)))
+           alphabet)
+    in
+    let strictly_inside =
+      Formula.or_
+        (List.map
+           (fun x ->
+             (* N' agrees with m on some letter of the difference *)
+             if Var.Set.mem x m then Formula.var x
+             else Formula.not_ (Formula.var x))
+           (Var.Set.elements d))
+    in
+    Semantics.is_sat (Formula.and_ [ p; agree; strictly_inside ])
+  end
+
+(* Is there a model of [p] at distance < d from [m]? *)
+let closer_by_cardinality p alphabet m d =
+  match dist_to p m alphabet with
+  | None -> false
+  | Some dp -> dp < d
+
+let winslett_check ~cap t p alphabet n =
+  exists_witness ~cap t alphabet (fun m -> closer_by_inclusion p alphabet m n)
+
+let forbus_check ~cap t p alphabet n =
+  exists_witness ~cap t alphabet (fun m ->
+      closer_by_cardinality p alphabet m (Interp.hamming m n))
+
+let model_check ?(cegar_cap = 50_000) op t p n =
+  if not (Semantics.is_sat t) then
+    invalid_arg "Compact.Check: T unsatisfiable";
+  if not (Semantics.is_sat p) then
+    invalid_arg "Compact.Check: P unsatisfiable";
+  let alphabet = joint t p in
+  let n = Interp.restrict (Var.set_of_list alphabet) n in
+  if not (Interp.sat n p) then false
+  else
+    match op with
+    | MB.Dalal -> (
+        match
+          (Hamming.min_distance_sat t p, dist_to t n alphabet)
+        with
+        | Some k, Some d -> d = k
+        | _ -> assert false (* both satisfiable *))
+    | MB.Weber ->
+        let omega = Measure.omega t p in
+        let pin =
+          Formula.and_
+            (List.filter_map
+               (fun x ->
+                 if Var.Set.mem x omega then None
+                 else
+                   Some
+                     (if Var.Set.mem x n then Formula.var x
+                      else Formula.not_ (Formula.var x)))
+               alphabet)
+        in
+        Semantics.is_sat (Formula.conj2 t pin)
+    | MB.Satoh ->
+        let delta = Measure.delta t p in
+        List.exists (fun s -> Interp.sat (Interp.sym_diff n s) t) delta
+    | MB.Winslett -> winslett_check ~cap:cegar_cap t p alphabet n
+    | MB.Forbus -> forbus_check ~cap:cegar_cap t p alphabet n
+    | MB.Borgida ->
+        if Semantics.is_sat (Formula.conj2 t p) then Interp.sat n t
+        else winslett_check ~cap:cegar_cap t p alphabet n
+
+let entails op t p q =
+  if not (Semantics.is_sat t) then
+    invalid_arg "Compact.Check.entails: T unsatisfiable";
+  if not (Semantics.is_sat p) then
+    invalid_arg "Compact.Check.entails: P unsatisfiable";
+  let compiled =
+    match op with
+    | MB.Dalal -> Dalal_compact.revise t p
+    | MB.Weber -> Weber_compact.revise t p
+    | MB.Winslett | MB.Borgida | MB.Forbus | MB.Satoh ->
+        Iterated_bounded.for_op op t [ p ]
+  in
+  Semantics.entails compiled q

@@ -1,0 +1,56 @@
+(** SAT-based model checking [M |= T * P] (the Section 2.2.4 decision
+    problem), without enumerating model sets.
+
+    The paper points at Liberatore-Schaerf for the complexity of this
+    problem; the implementations here mirror those upper bounds:
+
+    - {b Dalal}: [N |= P] and [dist(N, T) = k_{T,P}] — a logarithmic-ish
+      number of NP probes (we probe linearly; the binary-search variant
+      only changes the constant), matching Δ₂[O(log n)].
+    - {b Weber}: one probe [T ∧ (x = N(x) for x ∉ Ω)] after computing
+      [Ω].
+    - {b Satoh}: [δ(T, P)] has at most [2^{|V(P)|}] members, each [⊆ V(P)],
+      and [N Δ M = S] pins [M = N Δ S] — so the check is an evaluation per
+      member of δ.
+    - {b Winslett / Forbus}: genuinely Σ₂-flavoured; a CEGAR loop guesses
+      a witness [M |= T] with one solver and refutes the minimality of
+      [N Δ M] with another, blocking refuted witnesses.  The loop is
+      capped; hitting the cap raises rather than guessing.
+    - {b Borgida}: evaluation when [T ∧ P] is satisfiable, Winslett
+      otherwise.
+
+    All checkers agree with the extensional
+    {!Revision.Result.model_check} (property-tested); their point is
+    scale: alphabets far beyond brute-force enumeration. *)
+
+open Logic
+
+val model_check :
+  ?cegar_cap:int ->
+  Revision.Model_based.op ->
+  Formula.t ->
+  Formula.t ->
+  Interp.t ->
+  bool
+(** [model_check op t p n]: does the interpretation [n] (over
+    [V(T) ∪ V(P)]; letters outside it are ignored) satisfy [T * P]?
+    Requires [t] and [p] satisfiable.  [cegar_cap] (default 50_000)
+    bounds the Winslett/Forbus witness loop; exceeding it raises
+    [Failure]. *)
+
+val dist_to : Formula.t -> Interp.t -> Var.t list -> int option
+(** [dist_to f n alphabet]: minimum Hamming distance over the alphabet
+    between [n] and a model of [f] ([None] if [f] is unsatisfiable).
+    Exposed for the benches. *)
+
+val entails :
+  Revision.Model_based.op -> Formula.t -> Formula.t -> Formula.t -> bool
+(** [entails op t p q]: decide [T * P |= Q] {e without} model
+    enumeration, for the query-compactable operators: Dalal and Weber
+    compile their Theorem 3.4/3.5 representation and ask one SAT query
+    ([T' ∧ ¬Q] unsatisfiable?), which is sound because [q] ranges over
+    the original alphabet and [T'] is query-equivalent.  The pointwise
+    operators route through their Section 6 constructions and are
+    therefore subject to the bounded-|V(P)| limit; Satoh uses the
+    corrected δ-guard step.  Raises [Invalid_argument] on unsatisfiable
+    [t]/[p] or on an over-wide [p] for the pointwise operators. *)

@@ -1,0 +1,33 @@
+open Logic
+
+type info = {
+  formula : Formula.t;
+  k : int;
+  x : Var.t list;
+  y : Var.t list;
+  aux : Var.t list;
+}
+
+let revise_info t p =
+  if not (Semantics.is_sat t) then
+    invalid_arg "Dalal_compact.revise: T is unsatisfiable";
+  if not (Semantics.is_sat p) then
+    invalid_arg "Dalal_compact.revise: P is unsatisfiable";
+  let x =
+    Var.Set.elements (Var.Set.union (Formula.vars t) (Formula.vars p))
+  in
+  let y = Names.copy ~suffix:"'" x in
+  let t_y = Formula.rename (List.combine x y) t in
+  let n = List.length x in
+  let rec probe k =
+    if k > n then invalid_arg "Dalal_compact: no distance found (unreachable)"
+    else begin
+      let exa_k, aux = Hamming.exa k x y in
+      if Semantics.is_sat (Formula.and_ [ t_y; p; exa_k ]) then (k, exa_k, aux)
+      else probe (k + 1)
+    end
+  in
+  let k, exa_k, aux = probe 0 in
+  { formula = Formula.and_ [ t_y; p; exa_k ]; k; x; y; aux }
+
+let revise t p = (revise_info t p).formula

@@ -1,0 +1,34 @@
+(** Section 5: compact query-equivalent representations of iterated
+    revision in the general (unbounded-[P]) case — Dalal (Theorem 5.1)
+    and Weber (Corollary 5.2 / formula (10)).
+
+    Both are built incrementally: the step [i] representation is obtained
+    from the step [i-1] representation [Φ_{i-1}] by renaming the original
+    alphabet [X] to a fresh copy [Y_i] and conjoining [Pⁱ] plus the step's
+    distance constraint.  Unfolding this recursion yields exactly the
+    paper's [Φ_m] (respectively formula (10)); each step adds
+    [O(|X|² + |Pⁱ|)] (respectively [O(|Pⁱ| + |Ω_i|)]), so the size is
+    polynomial in [|T| + Σ|Pⁱ|] — the Table 2 general-case YES entries. *)
+
+open Logic
+
+type step = {
+  formula : Formula.t;  (** [Φ_i]: query-equivalent to [T * P¹ * ... * Pⁱ] *)
+  measure : int;  (** [k_i] for Dalal; [|Ω_i|] for Weber *)
+  size : int;  (** [Formula.size formula] *)
+}
+
+val dalal : Formula.t -> Formula.t list -> step list
+(** [dalal t ps]: the successive [Φ_i] of Theorem 5.1.  Each minimum
+    distance [k_i] is found by SAT probes against [Φ_{i-1}] (which is
+    query-equivalent to the prefix revision, so distances to its
+    [X]-projection are distances to [T *_D P¹ ... *_D P^{i-1}]).  Both
+    [t] and every prefix result must be satisfiable. *)
+
+val weber : Formula.t -> Formula.t list -> step list
+(** Formula (10): [Ψ_i = Ψ_{i-1}[Ω_i/Z_i] ∧ Pⁱ].  Each [Ω_i] is computed
+    by {!Measure.omega} against [Ψ_{i-1}] restricted to the original
+    alphabet. *)
+
+val final : step list -> Formula.t
+(** Formula of the last step ([true] for an empty sequence). *)

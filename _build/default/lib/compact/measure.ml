@@ -1,0 +1,38 @@
+open Logic
+
+let realizable_diffs t p =
+  if not (Semantics.is_sat t) then
+    invalid_arg "Measure: T is unsatisfiable";
+  if not (Semantics.is_sat p) then
+    invalid_arg "Measure: P is unsatisfiable";
+  let vp = Var.Set.elements (Formula.vars p) in
+  if List.length vp > 16 then
+    invalid_arg "Measure.realizable_diffs: |V(P)| > 16";
+  let x =
+    Var.Set.elements (Var.Set.union (Formula.vars t) (Formula.vars p))
+  in
+  let y = Names.copy ~suffix:"_m" x in
+  let pairs = List.combine x y in
+  let t_y = Formula.rename pairs t in
+  let diff_exactly s =
+    Formula.and_
+      (List.map
+         (fun (xv, yv) ->
+           if Var.Set.mem xv s then
+             Formula.xor (Formula.var xv) (Formula.var yv)
+           else Formula.iff (Formula.var xv) (Formula.var yv))
+         pairs)
+  in
+  List.filter
+    (fun s -> Semantics.is_sat (Formula.and_ [ t_y; p; diff_exactly s ]))
+    (Interp.subsets vp)
+
+let delta t p = Interp.min_incl (realizable_diffs t p)
+
+let k_min t p =
+  List.fold_left
+    (fun acc s -> min acc (Var.Set.cardinal s))
+    max_int (realizable_diffs t p)
+
+let omega t p =
+  List.fold_left Var.Set.union Var.Set.empty (delta t p)

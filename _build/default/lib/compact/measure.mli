@@ -1,0 +1,27 @@
+(** The "measures of minimal distance" (Section 4.3's two-step scheme):
+    [k_{T,P}], [δ(T,P)] and [Ω], computed with SAT probes instead of model
+    enumeration.
+
+    By Proposition 2.1 every inclusion- or cardinality-minimal difference
+    between a model of [T] and a model of [P] is contained in [V(P)], so
+    all three measures are determined by which subsets [S ⊆ V(P)] are
+    {e realizable} as exact differences — decidable with one SAT call per
+    subset on [T[X/Y] ∧ P ∧ (X Δ Y = S)].  The cost is [2^{|V(P)|}] solver
+    calls: polynomial in [|T|] for bounded [P], exponential in the general
+    case, exactly the asymmetry Table 1 turns on. *)
+
+open Logic
+
+val realizable_diffs : Formula.t -> Formula.t -> Var.Set.t list
+(** All [S ⊆ V(P)] such that some model of [T] and some model of [P]
+    differ exactly by [S].  Both formulas must be satisfiable.  Raises
+    [Invalid_argument] when [|V(P)| > 16]. *)
+
+val delta : Formula.t -> Formula.t -> Var.Set.t list
+(** [δ(T, P)]: inclusion-minimal realizable differences. *)
+
+val k_min : Formula.t -> Formula.t -> int
+(** [k_{T,P}]: minimum cardinality of a realizable difference. *)
+
+val omega : Formula.t -> Formula.t -> Var.Set.t
+(** [Ω = ∪ δ(T, P)]. *)

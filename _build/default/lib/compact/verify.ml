@@ -1,0 +1,21 @@
+open Logic
+
+let same_model_sets a b =
+  let norm = List.sort_uniq Var.Set.compare in
+  let a = norm a and b = norm b in
+  List.length a = List.length b && List.for_all2 Var.Set.equal a b
+
+let logically_equivalent result f =
+  let alphabet = Revision.Result.alphabet result in
+  if not (Var.Set.subset (Formula.vars f) (Var.set_of_list alphabet)) then
+    false
+  else
+    same_model_sets
+      (Models.enumerate alphabet f)
+      (Revision.Result.models result)
+
+let query_equivalent result f =
+  let alphabet = Revision.Result.alphabet result in
+  same_model_sets
+    (Semantics.models_sat alphabet f)
+    (Revision.Result.models result)

@@ -1,0 +1,31 @@
+(** Theorem 3.5: Weber's revision represented as [T[Ω/Z] ∧ P].
+
+    [Ω = ∪ δ(T, P)] collects every letter occurring in some minimal
+    difference between a model of [T] and a model of [P]; replacing those
+    letters in [T] by a fresh copy [Z] "frees" them, which is exactly
+    Weber's semantics.  The representation adds at most [|P|] plus a
+    renaming to [T] — even more compact than Dalal's (the paper notes the
+    contrast at the end of Section 3.1).
+
+    Computing [Ω] itself is the hard part (it is the "measure of minimal
+    distance" of this operator).  [omega] computes it extensionally from
+    the enumerated model sets; [revise] accepts a precomputed [Ω] so
+    benchmarks can separate measure computation from representation
+    size. *)
+
+open Logic
+
+type info = {
+  formula : Formula.t;
+  omega : Var.Set.t;
+  z : Var.t list;  (** fresh copy of [Ω], in [Var.Set.elements] order *)
+}
+
+val omega : Formula.t -> Formula.t -> Var.Set.t
+(** [Ω], via {!Measure.omega} ([2^{|V(P)|}] SAT probes).  By
+    Proposition 2.1, [Ω ⊆ V(P)]. *)
+
+val revise_info : ?omega:Var.Set.t -> Formula.t -> Formula.t -> info
+(** Raises [Invalid_argument] when either formula is unsatisfiable. *)
+
+val revise : ?omega:Var.Set.t -> Formula.t -> Formula.t -> Formula.t

@@ -1,0 +1,1 @@
+lib/logic/bdd.ml: Array Format Formula Hashtbl Interp List Var

@@ -1,0 +1,1 @@
+lib/logic/cnf.ml: Format Formula Hashtbl List Printf String Var

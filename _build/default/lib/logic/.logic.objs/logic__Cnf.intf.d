@@ -1,0 +1,1 @@
+lib/logic/cnf.mli: Format Formula Var

@@ -1,0 +1,1 @@
+lib/logic/formula.ml: Format List Stdlib Var

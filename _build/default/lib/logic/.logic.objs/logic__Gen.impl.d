@@ -1,0 +1,1 @@
+lib/logic/gen.ml: Formula List Printf Random Var

@@ -1,0 +1,1 @@
+lib/logic/gen.mli: Formula Interp Random Theory Var

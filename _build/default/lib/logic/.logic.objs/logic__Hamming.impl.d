@@ -1,0 +1,1 @@
+lib/logic/hamming.ml: Array Formula List Semantics Var

@@ -1,0 +1,1 @@
+lib/logic/hamming.mli: Formula Var

@@ -1,0 +1,1 @@
+lib/logic/horn.ml: Interp List Models Set Var

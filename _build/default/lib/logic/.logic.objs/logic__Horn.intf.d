@@ -1,0 +1,1 @@
+lib/logic/horn.mli: Cnf Formula Interp Var

@@ -1,0 +1,1 @@
+lib/logic/interp.ml: Array Formula List Var

@@ -1,0 +1,1 @@
+lib/logic/models.ml: Format Formula Interp List Var

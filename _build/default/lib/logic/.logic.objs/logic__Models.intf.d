@@ -1,0 +1,1 @@
+lib/logic/models.mli: Formula Interp Var

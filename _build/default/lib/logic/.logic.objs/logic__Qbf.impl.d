@@ -1,0 +1,1 @@
+lib/logic/qbf.ml: Format Formula List Var

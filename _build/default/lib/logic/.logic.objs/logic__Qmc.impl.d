@@ -1,0 +1,1 @@
+lib/logic/qmc.ml: Array Formula Fun Hashtbl List Set Var

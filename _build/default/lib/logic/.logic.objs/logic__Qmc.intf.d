@@ -1,0 +1,1 @@
+lib/logic/qmc.mli: Formula Interp Var

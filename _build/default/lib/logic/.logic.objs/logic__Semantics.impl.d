@@ -1,0 +1,1 @@
+lib/logic/semantics.ml: Formula Hashtbl List Satsolver Var

@@ -1,0 +1,1 @@
+lib/logic/theory.ml: Format Formula List Parser Semantics Var

@@ -1,0 +1,1 @@
+lib/logic/theory.mli: Format Formula Var

@@ -1,0 +1,1 @@
+lib/logic/var.ml: Array Format Hashtbl Int Map Printf Set

@@ -1,0 +1,195 @@
+type node = Leaf of bool | Node of { id : int; rank : int; lo : node; hi : node }
+
+type manager = {
+  vars : Var.t array; (* rank -> variable *)
+  ranks : int Var.Map.t; (* variable -> rank *)
+  unique : (int * int * int, node) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let node_id = function
+  | Leaf false -> -2
+  | Leaf true -> -1
+  | Node { id; _ } -> id
+
+let manager order =
+  let vars = Array.of_list order in
+  let ranks =
+    Array.to_list vars
+    |> List.mapi (fun i v -> (v, i))
+    |> List.fold_left (fun m (v, i) -> Var.Map.add v i m) Var.Map.empty
+  in
+  { vars; ranks; unique = Hashtbl.create 256; next_id = 0 }
+
+let order mgr = Array.to_list mgr.vars
+
+let mk mgr rank lo hi =
+  if node_id lo = node_id hi then lo
+  else begin
+    let key = (rank, node_id lo, node_id hi) in
+    match Hashtbl.find_opt mgr.unique key with
+    | Some n -> n
+    | None ->
+        let n = Node { id = mgr.next_id; rank; lo; hi } in
+        mgr.next_id <- mgr.next_id + 1;
+        Hashtbl.add mgr.unique key n;
+        n
+  end
+
+let rank_of = function Leaf _ -> max_int | Node { rank; _ } -> rank
+
+let cofactors rank = function
+  | Node { rank = r; lo; hi; _ } when r = rank -> (lo, hi)
+  | n -> (n, n)
+
+(* Binary apply with memoization. *)
+let apply mgr op =
+  let memo = Hashtbl.create 256 in
+  let rec go a b =
+    match (a, b) with
+    | Leaf x, Leaf y -> Leaf (op x y)
+    | _ -> (
+        (* Short-circuit when one side is a leaf and op is determined. *)
+        let key = (node_id a, node_id b) in
+        match Hashtbl.find_opt memo key with
+        | Some n -> n
+        | None ->
+            let rank = min (rank_of a) (rank_of b) in
+            let a0, a1 = cofactors rank a in
+            let b0, b1 = cofactors rank b in
+            let n = mk mgr rank (go a0 b0) (go a1 b1) in
+            Hashtbl.add memo key n;
+            n)
+  in
+  go
+
+let neg mgr =
+  let memo = Hashtbl.create 64 in
+  let rec go = function
+    | Leaf b -> Leaf (not b)
+    | Node { id; rank; lo; hi } -> (
+        match Hashtbl.find_opt memo id with
+        | Some m -> m
+        | None ->
+            let m = mk mgr rank (go lo) (go hi) in
+            Hashtbl.add memo id m;
+            m)
+  in
+  go
+
+let var_node mgr x =
+  match Var.Map.find_opt x mgr.ranks with
+  | None -> invalid_arg (Format.asprintf "Bdd: %a not in manager order" Var.pp x)
+  | Some rank -> mk mgr rank (Leaf false) (Leaf true)
+
+let rec of_formula mgr (f : Formula.t) =
+  match f with
+  | True -> Leaf true
+  | False -> Leaf false
+  | Var x -> var_node mgr x
+  | Not g -> neg mgr (of_formula mgr g)
+  | And gs ->
+      List.fold_left
+        (fun acc g -> apply mgr ( && ) acc (of_formula mgr g))
+        (Leaf true) gs
+  | Or gs ->
+      List.fold_left
+        (fun acc g -> apply mgr ( || ) acc (of_formula mgr g))
+        (Leaf false) gs
+  | Imp (a, b) ->
+      apply mgr (fun x y -> (not x) || y) (of_formula mgr a) (of_formula mgr b)
+  | Iff (a, b) ->
+      apply mgr (fun x y -> x = y) (of_formula mgr a) (of_formula mgr b)
+  | Xor (a, b) ->
+      apply mgr (fun x y -> x <> y) (of_formula mgr a) (of_formula mgr b)
+
+let of_models mgr ms =
+  let alphabet = order mgr in
+  List.fold_left
+    (fun acc m ->
+      apply mgr ( || ) acc (of_formula mgr (Interp.minterm alphabet m)))
+    (Leaf false) ms
+
+let is_true = function Leaf true -> true | _ -> false
+let is_false = function Leaf false -> true | _ -> false
+
+let node_count root =
+  let seen = Hashtbl.create 64 in
+  let rec go = function
+    | Leaf _ -> ()
+    | Node { id; lo; hi; _ } ->
+        if not (Hashtbl.mem seen id) then begin
+          Hashtbl.add seen id ();
+          go lo;
+          go hi
+        end
+  in
+  go root;
+  Hashtbl.length seen
+
+let sat_count mgr root =
+  let n = Array.length mgr.vars in
+  let memo = Hashtbl.create 64 in
+  (* count of assignments to variables with rank >= from *)
+  let rec go node from =
+    match node with
+    | Leaf false -> 0
+    | Leaf true -> 1 lsl (n - from)
+    | Node { id; rank; lo; hi } -> (
+        let key = (id, from) in
+        match Hashtbl.find_opt memo key with
+        | Some c -> c
+        | None ->
+            let below = go lo (rank + 1) + go hi (rank + 1) in
+            let c = below * (1 lsl (rank - from)) in
+            Hashtbl.add memo key c;
+            c)
+  in
+  go root 0
+
+let models mgr root =
+  let n = Array.length mgr.vars in
+  let out = ref [] in
+  (* enumerate, expanding skipped ranks both ways *)
+  let rec go node from acc =
+    match node with
+    | Leaf false -> ()
+    | Leaf true -> expand from n acc
+    | Node { rank; lo; hi; _ } ->
+        expand_to from rank acc (fun acc ->
+            go lo (rank + 1) acc;
+            go hi (rank + 1) (Var.Set.add mgr.vars.(rank) acc))
+  and expand from upto acc =
+    if from >= upto then out := acc :: !out
+    else begin
+      expand (from + 1) upto acc;
+      expand (from + 1) upto (Var.Set.add mgr.vars.(from) acc)
+    end
+  and expand_to from upto acc k =
+    if from >= upto then k acc
+    else begin
+      expand_to (from + 1) upto acc k;
+      expand_to (from + 1) upto (Var.Set.add mgr.vars.(from) acc) k
+    end
+  in
+  go root 0 Var.Set.empty;
+  List.sort_uniq Var.Set.compare !out
+
+let equal a b = node_id a = node_id b
+
+let rec eval mgr node m =
+  match node with
+  | Leaf b -> b
+  | Node { rank; lo; hi; _ } ->
+      if Var.Set.mem mgr.vars.(rank) m then eval mgr hi m else eval mgr lo m
+
+let rec to_formula mgr = function
+  | Leaf true -> Formula.top
+  | Leaf false -> Formula.bot
+  | Node { rank; lo; hi; _ } ->
+      let x = Formula.var mgr.vars.(rank) in
+      Formula.or_
+        [
+          Formula.conj2 x (to_formula mgr hi);
+          Formula.conj2 (Formula.not_ x) (to_formula mgr lo);
+        ]

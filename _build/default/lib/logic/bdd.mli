@@ -1,0 +1,48 @@
+(** Reduced ordered binary decision diagrams.
+
+    Section 7 of the paper generalizes its non-compactability results from
+    propositional formulas to any data structure with polynomial-time
+    model checking (Definition 7.1 / Theorem 7.1).  ROBDDs are the
+    canonical such structure, so the benchmarks also track BDD node counts
+    of revised knowledge bases: seeing the BDD blow up alongside the DNF
+    representations on the witness families is the empirical face of
+    Theorem 7.1.
+
+    The manager owns the variable order and hash-consing tables. *)
+
+type manager
+type node
+
+val manager : Var.t list -> manager
+(** Create a manager with the given variable order (first = topmost). *)
+
+val order : manager -> Var.t list
+
+val of_formula : manager -> Formula.t -> node
+(** Build the ROBDD of a formula.  All formula letters must appear in the
+    manager's order. *)
+
+val of_models : manager -> Interp.t list -> node
+(** BDD of a model set over the manager's full alphabet. *)
+
+val is_true : node -> bool
+val is_false : node -> bool
+
+val node_count : node -> int
+(** Number of distinct internal (decision) nodes reachable from the root —
+    the standard BDD size measure. *)
+
+val sat_count : manager -> node -> int
+(** Number of satisfying assignments over the manager's alphabet. *)
+
+val models : manager -> node -> Interp.t list
+(** All models over the manager's alphabet. *)
+
+val equal : node -> node -> bool
+(** Constant-time: ROBDDs are canonical per manager. *)
+
+val eval : manager -> node -> Interp.t -> bool
+(** One root-to-leaf walk — the poly-time [ASK] of a BDD. *)
+
+val to_formula : manager -> node -> Formula.t
+(** An if-then-else formula denoting the node (linear in node count). *)

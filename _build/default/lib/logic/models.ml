@@ -1,0 +1,33 @@
+let alphabet_of fs =
+  let vs =
+    List.fold_left
+      (fun acc f -> Var.Set.union acc (Formula.vars f))
+      Var.Set.empty fs
+  in
+  Var.Set.elements vs
+
+let enumerate alphabet f =
+  let missing = Var.Set.diff (Formula.vars f) (Var.set_of_list alphabet) in
+  if not (Var.Set.is_empty missing) then
+    invalid_arg
+      (Format.asprintf "Models.enumerate: letters %a not in alphabet"
+         Var.pp_set missing);
+  List.filter (fun m -> Interp.sat m f) (Interp.subsets alphabet)
+
+let count alphabet f = List.length (enumerate alphabet f)
+
+let equivalent_on alphabet a b =
+  List.for_all
+    (fun m -> Interp.sat m a = Interp.sat m b)
+    (Interp.subsets alphabet)
+
+let entails_on alphabet a b =
+  List.for_all
+    (fun m -> (not (Interp.sat m a)) || Interp.sat m b)
+    (Interp.subsets alphabet)
+
+let project sub models =
+  List.sort_uniq Var.Set.compare (List.map (Interp.restrict sub) models)
+
+let dnf_of_models alphabet models =
+  Formula.or_ (List.map (Interp.minterm alphabet) models)

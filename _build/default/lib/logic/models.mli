@@ -1,0 +1,30 @@
+(** Brute-force model enumeration over an explicit alphabet.
+
+    Model-based revision operators are defined on the full model sets of
+    [T] and [P] over their joint alphabet; this module materializes those
+    sets.  Exponential in the alphabet size by design — the library's
+    benchmarks measure exactly such explosions — so alphabets are capped at
+    25 letters. *)
+
+val alphabet_of : Formula.t list -> Var.t list
+(** Sorted joint alphabet of a list of formulas. *)
+
+val enumerate : Var.t list -> Formula.t -> Interp.t list
+(** All models of the formula over the given alphabet (which must contain
+    the formula's own letters). *)
+
+val count : Var.t list -> Formula.t -> int
+
+val equivalent_on : Var.t list -> Formula.t -> Formula.t -> bool
+(** Logical equivalence decided by truth-table sweep over the alphabet. *)
+
+val entails_on : Var.t list -> Formula.t -> Formula.t -> bool
+
+val project : Var.Set.t -> Interp.t list -> Interp.t list
+(** Project a model list onto a sub-alphabet, deduplicating — the model-set
+    image used by query-equivalence checks. *)
+
+val dnf_of_models : Var.t list -> Interp.t list -> Formula.t
+(** The naive representation: disjunction of minterms.  This is the
+    "completely naive storage organization" whose size Winslett's
+    conjecture (Section 3.1) is about. *)

@@ -1,0 +1,22 @@
+(** A small concrete syntax for formulas and theories.
+
+    Grammar (lowest precedence first, [->] right-associative):
+
+    {v
+      formula ::= imp (("==" | "<->") imp | ("!=" | "xor") imp)*
+      imp     ::= or ("->" imp)?
+      or      ::= and ("|" and)*
+      and     ::= unary ("&" unary)*
+      unary   ::= ("~" | "!") unary | atom
+      atom    ::= ident | "true" | "false" | "(" formula ")"
+    v}
+
+    A {e theory} is a sequence of formulas separated by [;] or newlines
+    (lines starting with [#] are comments), matching the paper's view of a
+    knowledge base as a finite set of formulas. *)
+
+exception Syntax_error of string
+(** Raised with a position-annotated message on malformed input. *)
+
+val formula_of_string : string -> Formula.t
+val theory_of_string : string -> Formula.t list

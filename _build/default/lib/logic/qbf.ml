@@ -1,0 +1,60 @@
+type t =
+  | Prop of Formula.t
+  | Forall of Var.t list * t
+  | Exists of Var.t list * t
+  | Conj of t list
+
+let prop f = Prop f
+let forall xs t = if xs = [] then t else Forall (xs, t)
+let exists xs t = if xs = [] then t else Exists (xs, t)
+
+let conj ts =
+  match ts with [] -> Prop Formula.top | [ t ] -> t | ts -> Conj ts
+
+let rec free_vars = function
+  | Prop f -> Formula.vars f
+  | Forall (xs, t) | Exists (xs, t) ->
+      Var.Set.diff (free_vars t) (Var.set_of_list xs)
+  | Conj ts ->
+      List.fold_left
+        (fun acc t -> Var.Set.union acc (free_vars t))
+        Var.Set.empty ts
+
+(* All boolean assignments to a block of letters, as constant maps. *)
+let assignments xs =
+  let n = List.length xs in
+  if n > 20 then invalid_arg "Qbf.expand: quantifier block too wide";
+  List.init (1 lsl n) (fun code ->
+      List.fold_left
+        (fun (m, i) x -> (Var.Map.add x (code land (1 lsl i) <> 0) m, i + 1))
+        (Var.Map.empty, 0) xs
+      |> fst)
+
+let rec expand = function
+  | Prop f -> f
+  | Conj ts -> Formula.and_ (List.map expand ts)
+  | Forall (xs, t) ->
+      let body = expand t in
+      Formula.and_
+        (List.map (fun m -> Formula.assign_vars m body) (assignments xs))
+  | Exists (xs, t) ->
+      let body = expand t in
+      Formula.or_
+        (List.map (fun m -> Formula.assign_vars m body) (assignments xs))
+
+let rec pp ppf = function
+  | Prop f -> Formula.pp ppf f
+  | Forall (xs, t) ->
+      Format.fprintf ppf "forall %a. %a"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space Var.pp)
+        xs pp t
+  | Exists (xs, t) ->
+      Format.fprintf ppf "exists %a. %a"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space Var.pp)
+        xs pp t
+  | Conj ts ->
+      Format.fprintf ppf "(@[%a@])"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " /\\@ ")
+           pp)
+        ts

@@ -1,0 +1,172 @@
+(* Implicants are cubes over n variables, encoded as [(value, mask)]:
+   [mask] bits are don't-cares, and [value land lnot mask] identifies the
+   fixed bits.  A cube covers minterm [m] iff [m land lnot mask = value
+   land lnot mask]. *)
+
+type cube = { value : int; mask : int }
+
+let covers n cube m =
+  let care = lnot cube.mask land ((1 lsl n) - 1) in
+  m land care = cube.value land care
+
+(* One pass of pairwise combination: cubes with identical masks whose
+   values differ in exactly one care bit merge into a cube with that bit
+   masked. Returns (primes_of_this_level, next_level). *)
+let combine_level n cubes =
+  let module CS = Set.Make (struct
+    type t = cube
+
+    let compare = compare
+  end) in
+  let used = Hashtbl.create 64 in
+  let next = ref CS.empty in
+  let arr = Array.of_list cubes in
+  let len = Array.length arr in
+  for i = 0 to len - 1 do
+    for j = i + 1 to len - 1 do
+      let a = arr.(i) and b = arr.(j) in
+      if a.mask = b.mask then begin
+        let care = lnot a.mask land ((1 lsl n) - 1) in
+        let diff = (a.value lxor b.value) land care in
+        if diff <> 0 && diff land (diff - 1) = 0 then begin
+          Hashtbl.replace used a ();
+          Hashtbl.replace used b ();
+          next :=
+            CS.add
+              { value = a.value land lnot diff; mask = a.mask lor diff }
+              !next
+        end
+      end
+    done
+  done;
+  let primes = List.filter (fun c -> not (Hashtbl.mem used c)) cubes in
+  (primes, CS.elements !next)
+
+let prime_implicants n minterms =
+  let rec go cubes acc =
+    match cubes with
+    | [] -> acc
+    | _ ->
+        let primes, next = combine_level n cubes in
+        go next (primes @ acc)
+  in
+  go
+    (List.sort_uniq compare
+       (List.map (fun m -> { value = m; mask = 0 }) minterms))
+    []
+
+(* Cover selection: essential primes, then greedy by remaining coverage. *)
+let select_cover n primes minterms =
+  let primes = Array.of_list primes in
+  let covers_of m =
+    Array.to_list
+      (Array.mapi (fun i c -> (i, covers n c m)) primes)
+    |> List.filter_map (fun (i, b) -> if b then Some i else None)
+  in
+  let chosen = Hashtbl.create 16 in
+  let remaining = ref [] in
+  (* essential primes *)
+  List.iter
+    (fun m ->
+      match covers_of m with
+      | [ i ] -> Hashtbl.replace chosen i ()
+      | _ -> ())
+    minterms;
+  remaining :=
+    List.filter
+      (fun m ->
+        not
+          (Hashtbl.fold
+             (fun i () acc -> acc || covers n primes.(i) m)
+             chosen false))
+      minterms;
+  (* greedy *)
+  while !remaining <> [] do
+    let best = ref (-1) and best_cov = ref (-1) in
+    Array.iteri
+      (fun i c ->
+        if not (Hashtbl.mem chosen i) then begin
+          let cov =
+            List.length (List.filter (fun m -> covers n c m) !remaining)
+          in
+          if cov > !best_cov then begin
+            best := i;
+            best_cov := cov
+          end
+        end)
+      primes;
+    assert (!best >= 0);
+    Hashtbl.replace chosen !best ();
+    remaining :=
+      List.filter (fun m -> not (covers n primes.(!best) m)) !remaining
+  done;
+  Hashtbl.fold (fun i () acc -> primes.(i) :: acc) chosen []
+
+let to_mask alphabet m =
+  let _, code =
+    List.fold_left
+      (fun (i, code) x ->
+        (i + 1, if Var.Set.mem x m then code lor (1 lsl i) else code))
+      (0, 0) alphabet
+  in
+  code
+
+let cube_to_formula alphabet cube =
+  let lits =
+    List.mapi
+      (fun i x ->
+        if cube.mask land (1 lsl i) <> 0 then None
+        else Some (Formula.lit (cube.value land (1 lsl i) <> 0) x))
+      alphabet
+    |> List.filter_map Fun.id
+  in
+  Formula.and_ lits
+
+let minimize alphabet models =
+  let n = List.length alphabet in
+  if n > 20 then invalid_arg "Qmc.minimize: alphabet too large";
+  match models with
+  | [] -> Formula.bot
+  | _ ->
+      let minterms = List.sort_uniq compare (List.map (to_mask alphabet) models) in
+      if List.length minterms = 1 lsl n then Formula.top
+      else begin
+        let primes = prime_implicants n minterms in
+        let cover = select_cover n primes minterms in
+        Formula.or_ (List.map (cube_to_formula alphabet) cover)
+      end
+
+let minimized_size alphabet models = Formula.size (minimize alphabet models)
+
+let minimize_cnf alphabet models =
+  let n = List.length alphabet in
+  if n > 20 then invalid_arg "Qmc.minimize_cnf: alphabet too large";
+  let is_model =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun m -> Hashtbl.replace tbl (to_mask alphabet m) ()) models;
+    fun mask -> Hashtbl.mem tbl mask
+  in
+  let complement =
+    List.filter (fun mask -> not (is_model mask)) (List.init (1 lsl n) Fun.id)
+  in
+  match complement with
+  | [] -> Formula.top
+  | _ when models = [] -> Formula.bot
+  | _ ->
+      let primes = prime_implicants n complement in
+      let cover = select_cover n primes complement in
+      (* each cube of the complement becomes a clause: the negation of
+         its literals *)
+      let clause cube =
+        Formula.or_
+          (List.mapi
+             (fun i x ->
+               if cube.mask land (1 lsl i) <> 0 then None
+               else Some (Formula.lit (cube.value land (1 lsl i) = 0) x))
+             alphabet
+          |> List.filter_map Fun.id)
+      in
+      Formula.and_ (List.map clause cover)
+
+let minimized_cnf_size alphabet models =
+  Formula.size (minimize_cnf alphabet models)

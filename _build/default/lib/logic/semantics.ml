@@ -1,0 +1,151 @@
+module S = Satsolver.Solver
+module L = Satsolver.Lit
+
+type env = {
+  solver : S.t;
+  mutable var_map : L.t Var.Map.t;
+  memo : (Formula.t, L.t) Hashtbl.t;
+  mutable true_lit : L.t option;
+}
+
+let create () =
+  {
+    solver = S.create ();
+    var_map = Var.Map.empty;
+    memo = Hashtbl.create 64;
+    true_lit = None;
+  }
+
+let fresh_lit env = L.of_var (S.new_var env.solver)
+
+let true_lit env =
+  match env.true_lit with
+  | Some l -> l
+  | None ->
+      let l = fresh_lit env in
+      S.add_clause env.solver [ l ];
+      env.true_lit <- Some l;
+      l
+
+let lit_of_var env x =
+  match Var.Map.find_opt x env.var_map with
+  | Some l -> l
+  | None ->
+      let l = fresh_lit env in
+      env.var_map <- Var.Map.add x l env.var_map;
+      l
+
+let add env c = S.add_clause env.solver c
+
+let rec encode env (f : Formula.t) =
+  match f with
+  | True -> true_lit env
+  | False -> L.neg (true_lit env)
+  | Var x -> lit_of_var env x
+  | Not g -> L.neg (encode env g)
+  | _ -> (
+      match Hashtbl.find_opt env.memo f with
+      | Some l -> l
+      | None ->
+          let l = encode_node env f in
+          Hashtbl.add env.memo f l;
+          l)
+
+and encode_node env (f : Formula.t) =
+  match f with
+  | True | False | Var _ | Not _ -> assert false (* handled above *)
+  | And gs ->
+      let ls = List.map (encode env) gs in
+      let x = fresh_lit env in
+      List.iter (fun li -> add env [ L.neg x; li ]) ls;
+      add env (x :: List.map L.neg ls);
+      x
+  | Or gs ->
+      let ls = List.map (encode env) gs in
+      let x = fresh_lit env in
+      List.iter (fun li -> add env [ x; L.neg li ]) ls;
+      add env (L.neg x :: ls);
+      x
+  | Imp (a, b) ->
+      let la = encode env a and lb = encode env b in
+      let x = fresh_lit env in
+      add env [ L.neg x; L.neg la; lb ];
+      add env [ x; la ];
+      add env [ x; L.neg lb ];
+      x
+  | Iff (a, b) ->
+      let la = encode env a and lb = encode env b in
+      let x = fresh_lit env in
+      add env [ L.neg x; L.neg la; lb ];
+      add env [ L.neg x; la; L.neg lb ];
+      add env [ x; la; lb ];
+      add env [ x; L.neg la; L.neg lb ];
+      x
+  | Xor (a, b) ->
+      let la = encode env a and lb = encode env b in
+      let x = fresh_lit env in
+      add env [ L.neg x; la; lb ];
+      add env [ L.neg x; L.neg la; L.neg lb ];
+      add env [ x; L.neg la; lb ];
+      add env [ x; la; L.neg lb ];
+      x
+
+let assert_formula env (f : Formula.t) =
+  (* Assert top-level conjuncts directly: fewer auxiliaries, and unit
+     facts reach the solver as unit clauses. *)
+  let rec go (f : Formula.t) =
+    match f with
+    | And gs -> List.iter go gs
+    | f -> add env [ encode env f ]
+  in
+  go f
+
+let solve ?assumptions env = S.solve ?assumptions env.solver
+
+let model_on env alphabet =
+  List.fold_left
+    (fun acc x ->
+      if S.value env.solver (lit_of_var env x) then Var.Set.add x acc else acc)
+    Var.Set.empty alphabet
+
+let block env alphabet m =
+  let clause =
+    List.map
+      (fun x ->
+        let l = lit_of_var env x in
+        if Var.Set.mem x m then L.neg l else l)
+      alphabet
+  in
+  add env clause
+
+let is_sat f =
+  let env = create () in
+  assert_formula env f;
+  solve env
+
+let is_valid f = not (is_sat (Formula.not_ f))
+let entails a b = not (is_sat (Formula.conj2 a (Formula.not_ b)))
+let equiv a b = entails a b && entails b a
+
+let models_sat ?(cap = 1_000_000) alphabet f =
+  let env = create () in
+  (* Allocate alphabet letters before solving so the model projection is
+     meaningful even for letters absent from the formula. *)
+  List.iter (fun x -> ignore (lit_of_var env x)) alphabet;
+  assert_formula env f;
+  let rec go acc n =
+    if n > cap then failwith "Semantics.models_sat: cap exceeded"
+    else if solve env then begin
+      let m = model_on env alphabet in
+      block env alphabet m;
+      go (m :: acc) (n + 1)
+    end
+    else List.rev acc
+  in
+  go [] 0
+
+let query_equivalent alphabet a b =
+  let ma = models_sat alphabet a and mb = models_sat alphabet b in
+  let norm = List.sort_uniq Var.Set.compare in
+  let la = norm ma and lb = norm mb in
+  List.length la = List.length lb && List.for_all2 Var.Set.equal la lb

@@ -1,0 +1,52 @@
+(** SAT-backed semantic operations on formulas.
+
+    Formulas are Tseitin-encoded into the CDCL solver (satsolver).  The
+    encoding introduces one auxiliary solver variable per connective
+    occurrence, which is transparent here: queries and models are always
+    phrased in terms of formula letters.
+
+    Use {!env} for incremental work (model enumeration with blocking
+    clauses); the convenience predicates spin up a throwaway solver. *)
+
+type env
+
+val create : unit -> env
+
+val lit_of_var : env -> Var.t -> Satsolver.Lit.t
+(** Solver literal for a formula letter (allocated on first use). *)
+
+val encode : env -> Formula.t -> Satsolver.Lit.t
+(** Literal equivalent to the formula (Tseitin, with memoization). *)
+
+val assert_formula : env -> Formula.t -> unit
+(** Constrain the formula to be true. *)
+
+val solve : ?assumptions:Satsolver.Lit.t list -> env -> bool
+
+val model_on : env -> Var.t list -> Interp.t
+(** Projection of the last model onto the given letters. *)
+
+val block : env -> Var.t list -> Interp.t -> unit
+(** Forbid every assignment whose projection on the letters equals the
+    interpretation: the blocking clause of projected model
+    enumeration. *)
+
+(** {1 One-shot queries} *)
+
+val is_sat : Formula.t -> bool
+val is_valid : Formula.t -> bool
+val entails : Formula.t -> Formula.t -> bool
+val equiv : Formula.t -> Formula.t -> bool
+
+val models_sat : ?cap:int -> Var.t list -> Formula.t -> Interp.t list
+(** All distinct projections onto the given letters of models of the
+    formula, found by iterated SAT with blocking clauses.  When the
+    formula's letters are all included this is exactly its model set; with
+    a sub-alphabet it is the projected model set used by query-equivalence
+    checks.  [cap] (default 1_000_000) bounds the enumeration; raises
+    [Failure] if hit, so truncation can never be silent. *)
+
+val query_equivalent : Var.t list -> Formula.t -> Formula.t -> bool
+(** [query_equivalent alphabet a b]: do [a] and [b] have the same
+    consequences over the alphabet (criterion (1) of the paper)?  Decided
+    by comparing projected model sets. *)

@@ -1,0 +1,56 @@
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let hash = Hashtbl.hash
+
+let table : (string, int) Hashtbl.t = Hashtbl.create 256
+let names : string ref array ref = ref (Array.init 16 (fun _ -> ref ""))
+let next = ref 0
+
+let name_slot i =
+  let cap = Array.length !names in
+  if i >= cap then begin
+    let arr = Array.init (max (i + 1) (2 * cap)) (fun _ -> ref "") in
+    Array.blit !names 0 arr 0 cap;
+    names := arr
+  end;
+  !names.(i)
+
+let named s =
+  match Hashtbl.find_opt table s with
+  | Some v -> v
+  | None ->
+      let v = !next in
+      incr next;
+      (name_slot v) := s;
+      Hashtbl.add table s v;
+      v
+
+let gensym = ref 0
+
+let fresh ?(prefix = "_w") () =
+  let rec go () =
+    let s = Printf.sprintf "%s%d" prefix !gensym in
+    incr gensym;
+    if Hashtbl.mem table s then go () else named s
+  in
+  go ()
+
+let name v = !(name_slot v)
+let copy_of ~suffix v = named (name v ^ suffix)
+let pp ppf v = Format.pp_print_string ppf (name v)
+let to_int v = v
+let count () = !next
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)
+
+let set_of_list l = Set.of_list l
+
+let pp_set ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       pp)
+    (Set.elements s)

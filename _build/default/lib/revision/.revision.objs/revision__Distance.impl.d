@@ -1,0 +1,1 @@
+lib/revision/distance.ml: Interp List Logic Var

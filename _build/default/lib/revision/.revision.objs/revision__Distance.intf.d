@@ -1,0 +1,1 @@
+lib/revision/distance.mli: Interp Logic Var

@@ -1,0 +1,1 @@
+lib/revision/formula_based.ml: Array Formula List Logic Models Result Semantics Theory Var

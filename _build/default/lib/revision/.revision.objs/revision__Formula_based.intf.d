@@ -1,0 +1,1 @@
+lib/revision/formula_based.mli: Formula Logic Result Theory

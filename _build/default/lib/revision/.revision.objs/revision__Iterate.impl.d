@@ -1,0 +1,1 @@
+lib/revision/iterate.ml: Formula Formula_based List Logic Model_based Models Operator Result Theory Var

@@ -1,0 +1,1 @@
+lib/revision/iterate.mli: Formula Logic Operator Result Theory Var

@@ -1,0 +1,1 @@
+lib/revision/model_based.ml: Distance Interp List Logic Models Result String Var

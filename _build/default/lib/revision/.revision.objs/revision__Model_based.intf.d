@@ -1,0 +1,1 @@
+lib/revision/model_based.mli: Formula Interp Logic Result Var

@@ -1,0 +1,1 @@
+lib/revision/operator.ml: Formula Formula_based List Logic Model_based Result Semantics String Theory

@@ -1,0 +1,1 @@
+lib/revision/operator.mli: Formula Logic Result Theory

@@ -1,0 +1,1 @@
+lib/revision/postulates.ml: Formula Interp List Logic Model_based Models Result Var

@@ -1,0 +1,1 @@
+lib/revision/postulates.mli: Formula Logic Model_based Var

@@ -1,0 +1,1 @@
+lib/revision/result.ml: Format Interp List Logic Models Qmc Var

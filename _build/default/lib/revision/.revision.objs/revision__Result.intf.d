@@ -1,0 +1,1 @@
+lib/revision/result.mli: Format Formula Interp Logic Var

@@ -1,0 +1,1 @@
+lib/revision/structure.ml: Bdd Formula Interp List Logic Result Var

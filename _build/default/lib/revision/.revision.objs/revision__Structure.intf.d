@@ -1,0 +1,1 @@
+lib/revision/structure.mli: Bdd Formula Interp Logic Result Var

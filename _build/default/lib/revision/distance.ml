@@ -1,0 +1,27 @@
+open Logic
+
+let mu m p_models =
+  Interp.min_incl (List.map (fun n -> Interp.sym_diff m n) p_models)
+
+let k_pointwise m p_models =
+  match p_models with
+  | [] -> invalid_arg "Distance.k_pointwise: P has no models"
+  | _ ->
+      List.fold_left
+        (fun acc n -> min acc (Interp.hamming m n))
+        max_int p_models
+
+let delta t_models p_models =
+  Interp.min_incl
+    (List.concat_map (fun m -> mu m p_models) t_models)
+
+let k_global t_models p_models =
+  match (t_models, p_models) with
+  | [], _ | _, [] -> invalid_arg "Distance.k_global: empty model set"
+  | _ ->
+      List.fold_left
+        (fun acc m -> min acc (k_pointwise m p_models))
+        max_int t_models
+
+let omega t_models p_models =
+  List.fold_left Var.Set.union Var.Set.empty (delta t_models p_models)

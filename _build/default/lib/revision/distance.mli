@@ -1,0 +1,25 @@
+(** Distance machinery shared by the model-based operators (Section 2.2.2).
+
+    Throughout, models are identified with the sets of letters they make
+    true, and distances are symmetric differences of such sets. *)
+
+open Logic
+
+val mu : Interp.t -> Interp.t list -> Var.Set.t list
+(** [mu m p_models] is the paper's [µ(M, P)]: the inclusion-minimal
+    symmetric differences between [m] and the models of [P]. *)
+
+val k_pointwise : Interp.t -> Interp.t list -> int
+(** [k_{M,P}]: minimum cardinality of a difference between [m] and a model
+    of [P].  Raises [Invalid_argument] on an empty model list. *)
+
+val delta : Interp.t list -> Interp.t list -> Var.Set.t list
+(** [delta t_models p_models] is [δ(T, P) = minc ∪_{M |= T} µ(M, P)]. *)
+
+val k_global : Interp.t list -> Interp.t list -> int
+(** [k_{T,P}]: minimum cardinality over [δ(T,P)] — equivalently the
+    minimum Hamming distance between a model of [T] and a model of [P]. *)
+
+val omega : Interp.t list -> Interp.t list -> Var.Set.t
+(** [Ω = ∪ δ(T, P)]: every letter appearing in at least one minimal
+    difference (Weber's revision). *)

@@ -1,0 +1,23 @@
+(** Iterated revision (Section 2.2.3): [T * P¹ * ... * Pᵐ],
+    left-associated.
+
+    For model-based operators the sequence folds over model sets; the
+    alphabet is fixed up front to [V(T) ∪ V(P¹) ∪ ... ∪ V(Pᵐ)] so that
+    later formulas' letters exist from the first step (the paper's
+    constructions assume [V(Pⁱ) ⊆ V(T)], cf. Section 6).  WIDTIO folds
+    over theories.  GFUV/Nebel produce a *set* of theories after one step
+    and the paper never defines how to revise such a set, so they are not
+    iterable here — matching the paper, whose Table 2 entries for them are
+    inherited from the single-revision case. *)
+
+open Logic
+
+val revise_seq : Operator.t -> Theory.t -> Formula.t list -> Result.t
+(** Raises [Invalid_argument] for [Gfuv]/[Nebel]. *)
+
+val revise_seq_on :
+  Operator.t -> Var.t list -> Theory.t -> Formula.t list -> Result.t
+(** Same, over an explicit alphabet. *)
+
+val widtio_seq : Theory.t -> Formula.t list -> Theory.t
+(** The theory after iterated WIDTIO revision. *)

@@ -1,0 +1,95 @@
+open Logic
+
+type op = Winslett | Borgida | Forbus | Satoh | Dalal | Weber
+
+let all = [ Winslett; Borgida; Forbus; Satoh; Dalal; Weber ]
+
+let name = function
+  | Winslett -> "winslett"
+  | Borgida -> "borgida"
+  | Forbus -> "forbus"
+  | Satoh -> "satoh"
+  | Dalal -> "dalal"
+  | Weber -> "weber"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "winslett" -> Some Winslett
+  | "borgida" -> Some Borgida
+  | "forbus" -> Some Forbus
+  | "satoh" -> Some Satoh
+  | "dalal" -> Some Dalal
+  | "weber" -> Some Weber
+  | _ -> None
+
+let winslett t_models p_models =
+  List.filter
+    (fun n ->
+      List.exists
+        (fun m ->
+          let d = Interp.sym_diff m n in
+          List.exists (Var.Set.equal d) (Distance.mu m p_models))
+        t_models)
+    p_models
+
+let borgida t_models p_models =
+  let inter =
+    List.filter (fun n -> List.exists (Interp.equal n) t_models) p_models
+  in
+  if inter <> [] then inter else winslett t_models p_models
+
+let forbus t_models p_models =
+  List.filter
+    (fun n ->
+      List.exists
+        (fun m -> Interp.hamming m n = Distance.k_pointwise m p_models)
+        t_models)
+    p_models
+
+let satoh t_models p_models =
+  let d = Distance.delta t_models p_models in
+  List.filter
+    (fun n ->
+      List.exists
+        (fun m -> List.exists (Var.Set.equal (Interp.sym_diff n m)) d)
+        t_models)
+    p_models
+
+let dalal t_models p_models =
+  let k = Distance.k_global t_models p_models in
+  List.filter
+    (fun n -> List.exists (fun m -> Interp.hamming n m = k) t_models)
+    p_models
+
+let weber t_models p_models =
+  let omega = Distance.omega t_models p_models in
+  List.filter
+    (fun n ->
+      List.exists
+        (fun m -> Var.Set.subset (Interp.sym_diff n m) omega)
+        t_models)
+    p_models
+
+let select op t_models p_models =
+  match p_models with
+  | [] -> []
+  | _ -> (
+      match t_models with
+      | [] -> p_models
+      | _ -> (
+          match op with
+          | Winslett -> winslett t_models p_models
+          | Borgida -> borgida t_models p_models
+          | Forbus -> forbus t_models p_models
+          | Satoh -> satoh t_models p_models
+          | Dalal -> dalal t_models p_models
+          | Weber -> weber t_models p_models))
+
+let revise_on op alphabet t p =
+  let t_models = Models.enumerate alphabet t in
+  let p_models = Models.enumerate alphabet p in
+  Result.make alphabet (select op t_models p_models)
+
+let revise op t p =
+  let alphabet = Models.alphabet_of [ t; p ] in
+  revise_on op alphabet t p

@@ -1,0 +1,38 @@
+(** The six model-based operators of Section 2.2.2.
+
+    Each follows its definition literally, selecting among the models of
+    [P] by proximity to the models of [T]:
+
+    - {b Winslett} (pointwise, inclusion): [N] survives iff some model [M]
+      of [T] has [M Δ N ∈ µ(M, P)].
+    - {b Borgida}: [T ∧ P] when consistent, Winslett otherwise.
+    - {b Forbus} (pointwise, cardinality): [|M Δ N| = k_{M,P}] for some
+      [M].
+    - {b Satoh} (global, inclusion): [N Δ M ∈ δ(T, P)] for some [M].
+    - {b Dalal} (global, cardinality): [|N Δ M| = k_{T,P}] for some [M].
+    - {b Weber}: [N Δ M ⊆ Ω] for some [M].
+
+    The paper assumes both [T] and [P] satisfiable (Section 2.2.2: the
+    degenerate cases are trivially compactable).  We adopt the natural
+    boundary convention: if [P] is unsatisfiable the result is
+    inconsistent; if [T] is unsatisfiable (and [P] is not), the result is
+    [P]. *)
+
+open Logic
+
+type op = Winslett | Borgida | Forbus | Satoh | Dalal | Weber
+
+val all : op list
+val name : op -> string
+val of_name : string -> op option
+
+val select : op -> Interp.t list -> Interp.t list -> Interp.t list
+(** [select op t_models p_models]: the surviving models of [P]
+    (boundary conventions above). *)
+
+val revise_on : op -> Var.t list -> Formula.t -> Formula.t -> Result.t
+(** Revision with models enumerated over an explicit alphabet, which must
+    contain the letters of both formulas. *)
+
+val revise : op -> Formula.t -> Formula.t -> Result.t
+(** [revise_on] over the joint alphabet [V(T) ∪ V(P)]. *)

@@ -1,0 +1,74 @@
+open Logic
+
+type check = { name : string; holds : bool }
+
+let models op alphabet t p =
+  Result.models (Model_based.revise_on op alphabet t p)
+
+let subset a b =
+  List.for_all (fun m -> List.exists (Var.Set.equal m) b) a
+
+let equal_sets a b = subset a b && subset b a
+
+let revision_postulates op alphabet ~t ~p ~q =
+  let mp = Models.enumerate alphabet p in
+  let rev = models op alphabet t p in
+  let r1 = subset rev mp in
+  let r2 =
+    let tp = Models.enumerate alphabet (Formula.conj2 t p) in
+    if tp = [] then true else equal_sets rev tp
+  in
+  let r3 = if mp <> [] then rev <> [] else true in
+  let rev_and_q = List.filter (fun m -> Interp.sat m q) rev in
+  let rev_pq = models op alphabet t (Formula.conj2 p q) in
+  let r5 = subset rev_and_q rev_pq in
+  let r6 = if rev_and_q <> [] then subset rev_pq rev_and_q else true in
+  [
+    { name = "R1"; holds = r1 };
+    { name = "R2"; holds = r2 };
+    { name = "R3"; holds = r3 };
+    { name = "R5"; holds = r5 };
+    { name = "R6"; holds = r6 };
+  ]
+
+let update_postulates op alphabet ~t ~t2 ~p ~p2 =
+  let mt = Models.enumerate alphabet t in
+  let mp = Models.enumerate alphabet p in
+  let upd = models op alphabet t p in
+  let u1 = subset upd mp in
+  let u2 = if subset mt mp then equal_sets upd mt else true in
+  let u3 = if mt <> [] && mp <> [] then upd <> [] else true in
+  let upd_and_p2 = List.filter (fun m -> Interp.sat m p2) upd in
+  let upd_pp2 = models op alphabet t (Formula.conj2 p p2) in
+  let u5 = subset upd_and_p2 upd_pp2 in
+  let upd_p2 = models op alphabet t p2 in
+  let u6 =
+    let mp2 = Models.enumerate alphabet p2 in
+    if subset upd mp2 && subset upd_p2 mp then equal_sets upd upd_p2
+    else true
+  in
+  let u7 =
+    if List.length mt = 1 then begin
+      let both = List.filter (fun m -> List.exists (Var.Set.equal m) upd_p2) upd in
+      let upd_or = models op alphabet t (Formula.disj2 p p2) in
+      subset both upd_or
+    end
+    else true
+  in
+  let u8 =
+    let lhs = models op alphabet (Formula.disj2 t t2) p in
+    let upd_t2 = models op alphabet t2 p in
+    let rhs =
+      List.sort_uniq Var.Set.compare (upd @ upd_t2)
+    in
+    equal_sets lhs rhs
+  in
+  [
+    { name = "U1"; holds = u1 };
+    { name = "U2"; holds = u2 };
+    { name = "U3"; holds = u3 };
+    { name = "U5"; holds = u5 };
+    { name = "U6"; holds = u6 };
+    { name = "U7"; holds = u7 };
+    { name = "U8"; holds = u8 };
+  ]

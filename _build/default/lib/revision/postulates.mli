@@ -1,0 +1,51 @@
+(** Katsuno-Mendelzon postulate checkers.
+
+    The paper's introduction separates {e belief revision} from
+    {e knowledge update} semantically; the KM postulates are the standard
+    formal dividing line (R1-R6 axiomatize revision operators such as
+    Dalal's, U1-U8 axiomatize update operators such as Winslett's and
+    Forbus').  These checkers decide each postulate {e on a concrete
+    instance} by brute-force model comparison — used by tests and by the
+    ablation bench to show where each operator sits.
+
+    A postulate "fails" for an operator when some instance falsifies it,
+    so the checkers are falsifiers: run them over random sweeps. *)
+
+open Logic
+
+type check = { name : string; holds : bool }
+
+val revision_postulates :
+  Model_based.op ->
+  Var.t list ->
+  t:Formula.t ->
+  p:Formula.t ->
+  q:Formula.t ->
+  check list
+(** Instance checks of R1-R3 and R5-R6 over the given alphabet ([q] is
+    the auxiliary formula of R5/R6):
+    {ul
+    {- R1: [T * P |= P]}
+    {- R2: if [T ∧ P] is satisfiable then [T * P ≡ T ∧ P]}
+    {- R3: if [P] is satisfiable then [T * P] is satisfiable}
+    {- R5: [(T * P) ∧ Q |= T * (P ∧ Q)]}
+    {- R6: if [(T * P) ∧ Q] is satisfiable then
+           [T * (P ∧ Q) |= (T * P) ∧ Q]}} *)
+
+val update_postulates :
+  Model_based.op ->
+  Var.t list ->
+  t:Formula.t ->
+  t2:Formula.t ->
+  p:Formula.t ->
+  p2:Formula.t ->
+  check list
+(** Instance checks of U1-U3 and U5-U8:
+    {ul
+    {- U1: [T ◇ P |= P]}
+    {- U2: if [T |= P] then [T ◇ P ≡ T]}
+    {- U3: if [T] and [P] are satisfiable then so is [T ◇ P]}
+    {- U5: [(T ◇ P) ∧ P2 |= T ◇ (P ∧ P2)]}
+    {- U6: if [T ◇ P |= P2] and [T ◇ P2 |= P] then [T ◇ P ≡ T ◇ P2]}
+    {- U7: if [T] is complete then [(T ◇ P) ∧ (T ◇ P2) |= T ◇ (P ∨ P2)]}
+    {- U8: [(T ∨ T2) ◇ P ≡ (T ◇ P) ∨ (T2 ◇ P)]}} *)

@@ -1,0 +1,34 @@
+open Logic
+
+type t = { name : string; size : int; ask : Interp.t -> bool }
+
+let of_formula f =
+  {
+    name = "formula";
+    size = Formula.size f;
+    ask = (fun m -> Interp.sat m f);
+  }
+
+let of_bdd mgr node =
+  { name = "bdd"; size = Bdd.node_count node; ask = Bdd.eval mgr node }
+
+let of_models alphabet models =
+  let sorted = List.sort_uniq Var.Set.compare models in
+  let alpha = Var.set_of_list alphabet in
+  {
+    name = "model-list";
+    size =
+      List.fold_left (fun acc m -> acc + Var.Set.cardinal m + 1) 0 sorted;
+    ask =
+      (fun m ->
+        let m = Interp.restrict alpha m in
+        List.exists (Var.Set.equal m) sorted);
+  }
+
+let agrees_with alphabet a b =
+  List.for_all (fun m -> a.ask m = b.ask m) (Interp.subsets alphabet)
+
+let represents s result =
+  List.for_all
+    (fun m -> s.ask m = Result.model_check result m)
+    (Interp.subsets (Result.alphabet result))

@@ -1,0 +1,39 @@
+(** Generic data structures with polynomial-time model checking —
+    Definition 7.1.
+
+    Section 7 strengthens every non-compactability result from "no small
+    {e formula}" to "no small {e data structure} [D] with a poly-time
+    [ASK(D, M)]".  This module makes that interface first-class: a
+    structure is a size plus an [ask] procedure, and the library's three
+    concrete representations (formula evaluation, ROBDD lookup, sorted
+    model list) are packaged as instances.  The benches measure their
+    sizes side by side on revised knowledge bases; Theorem 7.1 says all
+    of them — and anything else poly-time checkable — must blow up on the
+    witness families unless NP ⊆ P/poly. *)
+
+open Logic
+
+type t = {
+  name : string;
+  size : int;  (** the [|D|] of Definition 7.1 *)
+  ask : Interp.t -> bool;  (** the [ASK(D, M)] procedure *)
+}
+
+val of_formula : Formula.t -> t
+(** [ask] = formula evaluation; size = variable occurrences. *)
+
+val of_bdd : Bdd.manager -> Bdd.node -> t
+(** [ask] = one root-to-leaf walk; size = node count. *)
+
+val of_models : Var.t list -> Interp.t list -> t
+(** [ask] = membership in the sorted model list; size = total number of
+    letters across the models (the "naive storage"). *)
+
+val agrees_with : Var.t list -> t -> t -> bool
+(** Do two structures answer identically on every interpretation of the
+    alphabet?  (Brute force; small alphabets.) *)
+
+val represents : t -> Result.t -> bool
+(** Does the structure decide [M |= T * P] correctly for every
+    interpretation over the revision's alphabet?  Property 2 of
+    Definition 7.1, checked extensionally. *)

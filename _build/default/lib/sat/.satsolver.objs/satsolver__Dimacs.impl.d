@@ -1,0 +1,1 @@
+lib/sat/dimacs.ml: Format List Lit Printf Solver String

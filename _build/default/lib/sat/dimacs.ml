@@ -1,0 +1,48 @@
+let parse_string s =
+  let nvars = ref 0 in
+  let clauses = ref [] in
+  let current = ref [] in
+  let lines = String.split_on_char '\n' s in
+  let handle_tok tok =
+    match int_of_string_opt tok with
+    | None -> failwith (Printf.sprintf "dimacs: bad token %S" tok)
+    | Some 0 ->
+        clauses := List.rev !current :: !clauses;
+        current := []
+    | Some i ->
+        let v = abs i in
+        if v > !nvars then nvars := v;
+        current := Lit.of_int i :: !current
+  in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" then ()
+      else
+        match line.[0] with
+        | 'c' | '%' -> ()
+        | 'p' -> () (* header; variable/clause counts are recomputed *)
+        | _ ->
+            String.split_on_char ' ' line
+            |> List.filter (fun t -> t <> "")
+            |> List.iter handle_tok)
+    lines;
+  if !current <> [] then clauses := List.rev !current :: !clauses;
+  (!nvars, List.rev !clauses)
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let buf = really_input_string ic n in
+  close_in ic;
+  parse_string buf
+
+let print ppf (nvars, clauses) =
+  Format.fprintf ppf "p cnf %d %d@." nvars (List.length clauses);
+  List.iter
+    (fun c ->
+      List.iter (fun l -> Format.fprintf ppf "%d " (Lit.to_int l)) c;
+      Format.fprintf ppf "0@.")
+    clauses
+
+let load solver clauses = List.iter (Solver.add_clause solver) clauses

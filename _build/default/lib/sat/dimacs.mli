@@ -1,0 +1,16 @@
+(** DIMACS CNF reading and writing.
+
+    Used by the CLI tools and by tests that cross-check the solver against
+    hand-written instances. *)
+
+val parse_string : string -> int * Lit.t list list
+(** [parse_string s] parses DIMACS CNF text and returns
+    [(nvars, clauses)].  Raises [Failure] on malformed input. *)
+
+val parse_file : string -> int * Lit.t list list
+
+val print : Format.formatter -> int * Lit.t list list -> unit
+(** Write a problem in DIMACS CNF format. *)
+
+val load : Solver.t -> Lit.t list list -> unit
+(** Add all clauses to a solver. *)

@@ -1,0 +1,69 @@
+type t = {
+  score : int -> float;
+  heap : int Vec.t; (* heap of variable indices *)
+  mutable pos : int array; (* var -> index in heap, or -1 *)
+}
+
+let create score = { score; heap = Vec.create (); pos = Array.make 16 (-1) }
+
+let grow_to t n =
+  let cap = Array.length t.pos in
+  if n > cap then begin
+    let pos' = Array.make (max n (2 * cap)) (-1) in
+    Array.blit t.pos 0 pos' 0 cap;
+    t.pos <- pos'
+  end
+
+let mem t v = v < Array.length t.pos && t.pos.(v) >= 0
+let size t = Vec.size t.heap
+
+let swap t i j =
+  let vi = Vec.get t.heap i and vj = Vec.get t.heap j in
+  Vec.set t.heap i vj;
+  Vec.set t.heap j vi;
+  t.pos.(vi) <- j;
+  t.pos.(vj) <- i
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.score (Vec.get t.heap i) > t.score (Vec.get t.heap parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let n = Vec.size t.heap in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < n && t.score (Vec.get t.heap l) > t.score (Vec.get t.heap !best) then
+    best := l;
+  if r < n && t.score (Vec.get t.heap r) > t.score (Vec.get t.heap !best) then
+    best := r;
+  if !best <> i then begin
+    swap t i !best;
+    sift_down t !best
+  end
+
+let insert t v =
+  grow_to t (v + 1);
+  if t.pos.(v) < 0 then begin
+    Vec.push t.heap v;
+    t.pos.(v) <- Vec.size t.heap - 1;
+    sift_up t (Vec.size t.heap - 1)
+  end
+
+let update t v = if mem t v then sift_up t t.pos.(v)
+
+let pop_max t =
+  if Vec.size t.heap = 0 then None
+  else begin
+    let top = Vec.get t.heap 0 in
+    let n = Vec.size t.heap in
+    swap t 0 (n - 1);
+    ignore (Vec.pop t.heap);
+    t.pos.(top) <- -1;
+    if Vec.size t.heap > 0 then sift_down t 0;
+    Some top
+  end

@@ -1,0 +1,1 @@
+lib/witness/advice.ml: Formula Gfuv_family Logic Revision Semantics

@@ -1,0 +1,1 @@
+lib/witness/advice.mli: Formula Gfuv_family Logic Threesat

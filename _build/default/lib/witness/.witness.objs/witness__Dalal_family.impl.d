@@ -1,0 +1,1 @@
+lib/witness/dalal_family.ml: Compact Formula List Logic Printf Revision Threesat Var

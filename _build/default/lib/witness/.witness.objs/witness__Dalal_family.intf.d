@@ -1,0 +1,1 @@
+lib/witness/dalal_family.mli: Formula Interp Logic Revision Threesat Var

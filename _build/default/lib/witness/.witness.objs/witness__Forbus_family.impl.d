@@ -1,0 +1,1 @@
+lib/witness/forbus_family.ml: Compact Formula Interp List Logic Printf Revision Theory Threesat Var

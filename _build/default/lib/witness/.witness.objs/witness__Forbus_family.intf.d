@@ -1,0 +1,1 @@
+lib/witness/forbus_family.mli: Formula Interp Logic Theory Threesat Var

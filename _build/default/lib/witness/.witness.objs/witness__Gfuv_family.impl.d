@@ -1,0 +1,1 @@
+lib/witness/gfuv_family.ml: Formula List Logic Printf Revision Theory Threesat Var

@@ -1,0 +1,1 @@
+lib/witness/gfuv_family.mli: Formula Logic Theory Threesat Var

@@ -1,0 +1,1 @@
+lib/witness/iterated_family.ml: Formula List Logic Printf Revision Threesat Var

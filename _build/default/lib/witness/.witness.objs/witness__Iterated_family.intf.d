@@ -1,0 +1,1 @@
+lib/witness/iterated_family.mli: Formula Interp Logic Revision Threesat Var

@@ -1,0 +1,1 @@
+lib/witness/nebel_example.ml: Formula List Logic Printf Revision Theory Var

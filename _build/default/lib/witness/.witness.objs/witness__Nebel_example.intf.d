@@ -1,0 +1,1 @@
+lib/witness/nebel_example.mli: Formula Logic Theory Var

@@ -1,0 +1,1 @@
+lib/witness/threesat.ml: Array Format Formula Hashtbl List Logic Printf Random Semantics Var

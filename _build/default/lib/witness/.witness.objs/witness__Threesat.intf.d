@@ -1,0 +1,1 @@
+lib/witness/threesat.mli: Format Formula Logic Random Var

@@ -1,0 +1,1 @@
+lib/witness/winslett_example.ml: Formula List Logic Printf Revision Theory

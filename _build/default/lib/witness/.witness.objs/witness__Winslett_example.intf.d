@@ -1,0 +1,1 @@
+lib/witness/winslett_example.mli: Formula Logic Theory

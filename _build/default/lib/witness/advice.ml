@@ -1,0 +1,17 @@
+open Logic
+
+type t = { family : Gfuv_family.t; advice : Formula.t }
+
+let build universe =
+  let family = Gfuv_family.make universe in
+  let advice =
+    Revision.Formula_based.gfuv_formula family.Gfuv_family.t_n
+      family.Gfuv_family.p_n
+  in
+  { family; advice }
+
+let advice_size t = Formula.size t.advice
+
+let decide_sat t pi =
+  let q = Gfuv_family.q_pi t.family pi in
+  Semantics.entails t.advice q

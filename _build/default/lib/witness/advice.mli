@@ -1,0 +1,29 @@
+(** An executable rendering of the Theorem 2.2 advice-taking machine.
+
+    The non-compactability proofs all follow one schema: {e if} a
+    polynomial-size query-equivalent representation [T'] of [T_n * P_n]
+    existed, an advice-taking machine with advice [A(n) = T'] would decide
+    3-SAT with a coNP computation, collapsing the polynomial hierarchy.
+    This module runs that machine with the representations the library
+    {e can} build — the naive disjunction-of-worlds for GFUV — so the
+    pipeline [load advice → compute Q_π → decide T' |= Q_π] is exercised
+    end to end, with the advice size (exponential, per Theorem 3.1)
+    measured rather than assumed. *)
+
+open Logic
+
+type t = {
+  family : Gfuv_family.t;
+  advice : Formula.t;  (** the representation loaded on the advice tape *)
+}
+
+val build : Threesat.universe -> t
+(** Advice = the explicit GFUV revision formula for the family over this
+    universe (exponential in general — that is the point). *)
+
+val advice_size : t -> int
+
+val decide_sat : t -> Threesat.instance -> bool
+(** The machine body: compute [Q_π] from [π] (polynomial) and return
+    [advice |= Q_π] (one coNP query).  By Theorem 3.1 this equals the
+    satisfiability of [π]. *)

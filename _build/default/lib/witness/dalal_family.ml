@@ -1,0 +1,64 @@
+open Logic
+
+type t = {
+  universe : Threesat.universe;
+  y : Var.t list;
+  c : Var.t list;
+  phi_n : Formula.t;
+  gamma_n : Formula.t;
+  t_n : Formula.t;
+  p_n : Formula.t;
+}
+
+let make universe =
+  let n = Threesat.n_of universe in
+  let m = Threesat.size universe in
+  let bs = Threesat.atoms n in
+  let y = List.init n (fun i -> Var.named (Printf.sprintf "y%d" (i + 1))) in
+  let c = List.init m (fun j -> Var.named (Printf.sprintf "c%d" (j + 1))) in
+  let gammas = Threesat.clauses universe in
+  let phi_n =
+    Formula.and_
+      (List.map2 (fun b yi -> Formula.xor (Formula.var b) (Formula.var yi)) bs y)
+  in
+  let gamma_n =
+    Formula.and_
+      (List.map2
+         (fun gj cj -> Formula.disj2 gj (Formula.not_ (Formula.var cj)))
+         gammas c)
+  in
+  let p_n =
+    Formula.and_
+      (List.map2
+         (fun b yi ->
+           Formula.conj2
+             (Formula.not_ (Formula.var b))
+             (Formula.not_ (Formula.var yi)))
+         bs y)
+  in
+  { universe; y; c; phi_n; gamma_n; t_n = Formula.conj2 phi_n gamma_n; p_n }
+
+let c_pi t pi =
+  let sel = pi.Threesat.selected in
+  List.fold_left Var.Set.union Var.Set.empty
+    (List.mapi
+       (fun j cj ->
+         if List.mem j sel then Var.Set.singleton cj else Var.Set.empty)
+       t.c)
+
+let alphabet t = Threesat.atoms (Threesat.n_of t.universe) @ t.y @ t.c
+
+let c_pi_selected op t pi =
+  let result =
+    Revision.Model_based.revise_on op (alphabet t) t.t_n t.p_n
+  in
+  Revision.Result.model_check result (c_pi t pi)
+
+let reduction_holds op t pi =
+  c_pi_selected op t pi = Threesat.is_satisfiable pi
+
+let c_pi_selected_sat op t pi =
+  Compact.Check.model_check op t.t_n t.p_n (c_pi t pi)
+
+let reduction_holds_sat op t pi =
+  c_pi_selected_sat op t pi = Threesat.is_satisfiable pi

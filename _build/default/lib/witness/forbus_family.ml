@@ -1,0 +1,82 @@
+open Logic
+
+type t = {
+  universe : Threesat.universe;
+  c : Var.t list list;
+  r : Var.t;
+  u_n : Formula.t;
+  t_n : Theory.t;
+  p_n : Formula.t;
+}
+
+let make universe =
+  let n = Threesat.n_of universe in
+  let m = Threesat.size universe in
+  let bs = Threesat.atoms n in
+  let gammas = Threesat.clauses universe in
+  let c =
+    List.init (n + 2) (fun i ->
+        List.init m (fun j ->
+            Var.named (Printf.sprintf "c%d_%d" (i + 1) (j + 1))))
+  in
+  let r = Var.named "r" in
+  let row1 = List.hd c in
+  let u_n =
+    Formula.and_
+      (List.concat_map
+         (fun row ->
+           List.map2
+             (fun c1 ci -> Formula.iff (Formula.var c1) (Formula.var ci))
+             row1 row)
+         (List.tl c))
+  in
+  let all_b_false =
+    Formula.and_
+      (List.map (fun b -> Formula.not_ (Formula.var b)) bs
+      @ [ Formula.not_ (Formula.var r) ])
+  in
+  let enabled =
+    Formula.and_
+      (List.map2 (fun cj gj -> Formula.imp (Formula.var cj) gj) row1 gammas)
+  in
+  let p_n = Formula.conj2 (Formula.disj2 all_b_false enabled) u_n in
+  let t_n =
+    (u_n :: List.map Formula.var bs) @ [ Formula.var r ]
+  in
+  { universe; c; r; u_n; t_n; p_n }
+
+let m_pi t pi =
+  let sel = pi.Threesat.selected in
+  List.fold_left
+    (fun acc row ->
+      List.fold_left Var.Set.union acc
+        (List.mapi
+           (fun j cij ->
+             if List.mem j sel then Var.Set.singleton cij else Var.Set.empty)
+           row))
+    Var.Set.empty t.c
+
+let alphabet t =
+  Threesat.atoms (Threesat.n_of t.universe)
+  @ List.concat t.c @ [ t.r ]
+
+let q_pi t pi =
+  let m = m_pi t pi in
+  Formula.not_ (Interp.minterm (alphabet t) m)
+
+let m_pi_selected t pi =
+  let result =
+    Revision.Model_based.revise_on Revision.Model_based.Forbus (alphabet t)
+      (Theory.conj t.t_n) t.p_n
+  in
+  Revision.Result.model_check result (m_pi t pi)
+
+let reduction_holds t pi =
+  m_pi_selected t pi = not (Threesat.is_satisfiable pi)
+
+let m_pi_selected_sat t pi =
+  Compact.Check.model_check Revision.Model_based.Forbus (Theory.conj t.t_n)
+    t.p_n (m_pi t pi)
+
+let reduction_holds_sat t pi =
+  m_pi_selected_sat t pi = not (Threesat.is_satisfiable pi)

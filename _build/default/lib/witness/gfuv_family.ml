@@ -1,0 +1,77 @@
+open Logic
+
+type t = {
+  universe : Threesat.universe;
+  c : Var.t list;
+  d : Var.t list;
+  r : Var.t;
+  t_n : Theory.t;
+  p_n : Formula.t;
+}
+
+let guard_letters prefix universe =
+  List.init (Threesat.size universe) (fun j ->
+      Var.named (Printf.sprintf "%s%d" prefix (j + 1)))
+
+let make universe =
+  let n = Threesat.n_of universe in
+  let bs = Threesat.atoms n in
+  let c = guard_letters "c" universe in
+  let d = guard_letters "d" universe in
+  let r = Var.named "r" in
+  let gammas = Threesat.clauses universe in
+  let t_n =
+    List.map Formula.var c @ List.map Formula.var d
+    @ List.map Formula.var bs @ [ Formula.var r ]
+  in
+  let all_b_false =
+    Formula.and_
+      (List.map (fun b -> Formula.not_ (Formula.var b)) bs
+      @ [ Formula.not_ (Formula.var r) ])
+  in
+  let enabled =
+    Formula.and_
+      (List.map2 (fun cj gj -> Formula.imp (Formula.var cj) gj) c gammas)
+  in
+  let c_neq_d =
+    Formula.and_
+      (List.map2 (fun cj dj -> Formula.xor (Formula.var cj) (Formula.var dj)) c d)
+  in
+  let p_n = Formula.conj2 (Formula.disj2 all_b_false enabled) c_neq_d in
+  { universe; c; d; r; t_n; p_n }
+
+let w_pi t pi =
+  let sel = pi.Threesat.selected in
+  let lits =
+    List.mapi
+      (fun j (cj, dj) ->
+        if List.mem j sel then Formula.var cj else Formula.var dj)
+      (List.combine t.c t.d)
+  in
+  Formula.and_ lits
+
+let q_pi t pi = Formula.imp (w_pi t pi) (Formula.var t.r)
+
+let entails_q t pi =
+  Revision.Formula_based.gfuv_entails t.t_n t.p_n (q_pi t pi)
+
+let reduction_holds t pi =
+  entails_q t pi = Threesat.is_satisfiable pi
+
+type bounded = { base : t; s : Var.t; t'_n : Theory.t; p' : Formula.t }
+
+let make_bounded universe =
+  let base = make universe in
+  let s = Var.named "s" in
+  let guard = Formula.disj2 (Formula.not_ (Formula.var s)) base.p_n in
+  let t'_n =
+    List.map (fun f -> Formula.conj2 f guard) base.t_n
+    @ [ Formula.not_ (Formula.var s) ]
+  in
+  { base; s; t'_n; p' = Formula.var s }
+
+let bounded_entails_q b pi =
+  Revision.Formula_based.gfuv_entails b.t'_n b.p' (q_pi b.base pi)
+
+let bounded_reduction_holds b pi =
+  bounded_entails_q b pi = Threesat.is_satisfiable pi

@@ -1,0 +1,68 @@
+open Logic
+
+type t = {
+  universe : Threesat.universe;
+  y : Var.t list;
+  c : Var.t list;
+  t_n : Formula.t;
+  ps : Formula.t list;
+}
+
+let make universe =
+  let n = Threesat.n_of universe in
+  let m = Threesat.size universe in
+  let bs = Threesat.atoms n in
+  let y = List.init n (fun i -> Var.named (Printf.sprintf "y%d" (i + 1))) in
+  let c = List.init m (fun j -> Var.named (Printf.sprintf "c%d" (j + 1))) in
+  let gammas = Threesat.clauses universe in
+  let phi_n =
+    Formula.and_
+      (List.map2 (fun b yi -> Formula.xor (Formula.var b) (Formula.var yi)) bs y)
+  in
+  let gamma_n =
+    Formula.and_
+      (List.map2 (fun cj gj -> Formula.imp (Formula.var cj) gj) c gammas)
+  in
+  let ps =
+    List.map2
+      (fun b yi ->
+        Formula.conj2
+          (Formula.not_ (Formula.var b))
+          (Formula.not_ (Formula.var yi)))
+      bs y
+  in
+  { universe; y; c; t_n = Formula.conj2 phi_n gamma_n; ps }
+
+let c_pi t pi =
+  let sel = pi.Threesat.selected in
+  List.fold_left Var.Set.union Var.Set.empty
+    (List.mapi
+       (fun j cj ->
+         if List.mem j sel then Var.Set.singleton cj else Var.Set.empty)
+       t.c)
+
+let alphabet t = Threesat.atoms (Threesat.n_of t.universe) @ t.y @ t.c
+
+let op_to_operator (op : Revision.Model_based.op) : Revision.Operator.t =
+  match op with
+  | Revision.Model_based.Winslett -> Revision.Operator.Winslett
+  | Revision.Model_based.Borgida -> Revision.Operator.Borgida
+  | Revision.Model_based.Forbus -> Revision.Operator.Forbus
+  | Revision.Model_based.Satoh -> Revision.Operator.Satoh
+  | Revision.Model_based.Dalal -> Revision.Operator.Dalal
+  | Revision.Model_based.Weber -> Revision.Operator.Weber
+
+let revised op t =
+  Revision.Iterate.revise_seq_on (op_to_operator op) (alphabet t) [ t.t_n ]
+    t.ps
+
+let c_pi_selected op t pi =
+  Revision.Result.model_check (revised op t) (c_pi t pi)
+
+let reduction_holds op t pi =
+  c_pi_selected op t pi = Threesat.is_satisfiable pi
+
+let operators_agree t =
+  match List.map (fun op -> revised op t) Revision.Model_based.all with
+  | [] -> true
+  | first :: rest -> List.for_all (Revision.Result.equal first) rest

@@ -1,0 +1,27 @@
+open Logic
+
+type t = {
+  m : int;
+  xs : Var.t list;
+  ys : Var.t list;
+  t1 : Theory.t;
+  p1 : Formula.t;
+}
+
+let make m =
+  let xs = List.init m (fun i -> Var.named (Printf.sprintf "x%d" (i + 1))) in
+  let ys = List.init m (fun i -> Var.named (Printf.sprintf "y%d" (i + 1))) in
+  let t1 = List.map Formula.var (xs @ ys) in
+  let p1 =
+    Formula.and_
+      (List.map2
+         (fun x y -> Formula.xor (Formula.var x) (Formula.var y))
+         xs ys)
+  in
+  { m; xs; ys; t1; p1 }
+
+let world_count t =
+  List.length (Revision.Formula_based.worlds ~cap:(1 lsl 22) t.t1 t.p1)
+
+let naive_size t =
+  Formula.size (Revision.Formula_based.gfuv_formula ~cap:(1 lsl 22) t.t1 t.p1)

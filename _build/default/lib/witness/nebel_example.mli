@@ -1,0 +1,17 @@
+(** Nebel's exponential-worlds example (Section 3.1):
+    [T₁ = {x₁, ..., x_m, y₁, ..., y_m}], [P₁ = ∧_i (x_i ≢ y_i)].
+
+    [W(T₁, P₁)] contains [2^m] theories — one per choice of [x_i] or
+    [y_i] for each [i] — so the explicit disjunction-of-worlds
+    representation of [T₁ *_GFUV P₁] is exponential in [|T₁| + |P₁|]. *)
+
+open Logic
+
+type t = { m : int; xs : Var.t list; ys : Var.t list; t1 : Theory.t; p1 : Formula.t }
+
+val make : int -> t
+val world_count : t -> int
+(** [|W(T₁, P₁)|] by actual enumeration (use [m <= 12]). *)
+
+val naive_size : t -> int
+(** Size ([Formula.size]) of the explicit GFUV representation. *)

@@ -1,0 +1,80 @@
+open Logic
+
+let atoms n = List.init n (fun i -> Var.named (Printf.sprintf "b%d" (i + 1)))
+
+type universe = { n : int; all : Formula.t array }
+
+(* All three-literal clauses on three distinct atoms of B_n: C(n,3)
+   atom triples x 8 sign patterns, in lexicographic order. *)
+let full_universe n =
+  let bs = Array.of_list (atoms n) in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      for k = j + 1 to n - 1 do
+        for signs = 0 to 7 do
+          let lit pos v =
+            Formula.lit (signs land (1 lsl pos) = 0) v
+          in
+          out :=
+            Formula.or_ [ lit 0 bs.(i); lit 1 bs.(j); lit 2 bs.(k) ]
+            :: !out
+        done
+      done
+    done
+  done;
+  { n; all = Array.of_list (List.rev !out) }
+
+let sub_universe n idxs =
+  let full = full_universe n in
+  if List.sort_uniq compare idxs <> List.sort compare idxs then
+    invalid_arg "Threesat.sub_universe: duplicate indices";
+  let all =
+    Array.of_list
+      (List.map
+         (fun i ->
+           if i < 0 || i >= Array.length full.all then
+             invalid_arg "Threesat.sub_universe: index out of range"
+           else full.all.(i))
+         idxs)
+  in
+  { n; all }
+
+let n_of u = u.n
+let clauses u = Array.to_list u.all
+let size u = Array.length u.all
+
+type instance = { universe : universe; selected : int list }
+
+let instance universe selected =
+  let selected = List.sort_uniq compare selected in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= Array.length universe.all then
+        invalid_arg "Threesat.instance: clause index out of range")
+    selected;
+  { universe; selected }
+
+let instance_formulas pi =
+  List.map (fun i -> pi.universe.all.(i)) pi.selected
+
+let instance_formula pi = Formula.and_ (instance_formulas pi)
+
+let is_satisfiable pi = Semantics.is_sat (instance_formula pi)
+
+let random_instance st universe ~nclauses =
+  let m = Array.length universe.all in
+  let nclauses = min nclauses m in
+  (* sample without replacement *)
+  let chosen = Hashtbl.create 16 in
+  while Hashtbl.length chosen < nclauses do
+    Hashtbl.replace chosen (Random.State.int st m) ()
+  done;
+  instance universe (Hashtbl.fold (fun i () acc -> i :: acc) chosen [])
+
+let pp_instance ppf pi =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       Formula.pp)
+    (instance_formulas pi)

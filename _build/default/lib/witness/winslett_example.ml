@@ -1,0 +1,22 @@
+open Logic
+
+type t = { m : int; t2 : Theory.t; p2 : Formula.t }
+
+let make m =
+  if m < 1 then invalid_arg "Winslett_example.make: m >= 1";
+  let x i = Formula.v (Printf.sprintf "x%d" i) in
+  let y i = Formula.v (Printf.sprintf "y%d" i) in
+  let z i = Formula.v (Printf.sprintf "z%d" i) in
+  let level i =
+    let give_up = Formula.disj2 (Formula.not_ (x i)) (Formula.not_ (y i)) in
+    let rhs = if i = 1 then give_up else Formula.conj2 (z (i - 1)) give_up in
+    [ x i; y i; Formula.iff (z i) rhs ]
+  in
+  let t2 = List.concat_map level (List.init m (fun i -> i + 1)) in
+  { m; t2; p2 = z m }
+
+let world_count t =
+  List.length (Revision.Formula_based.worlds ~cap:(1 lsl 22) t.t2 t.p2)
+
+let naive_size t =
+  Formula.size (Revision.Formula_based.gfuv_formula ~cap:(1 lsl 22) t.t2 t.p2)

@@ -1,0 +1,18 @@
+(** Winslett's explosion example (Section 3.1): exponentially many
+    possible worlds although the revising formula has {e constant} size.
+
+    [T₂ = {x₁, y₁, z₁ ≡ (¬x₁ ∨ ¬y₁),
+           ...,
+           x_i, y_i, z_i ≡ (z_{i-1} ∧ (¬x_i ∨ ¬y_i)),
+           ...}]
+    and [P₂ = z_m].  Making [z_m] true requires giving up one of [x_i],
+    [y_i] at every level, so [|W(T₂, P₂)|] grows exponentially in [m]
+    while [|P₂| = 1]. *)
+
+open Logic
+
+type t = { m : int; t2 : Theory.t; p2 : Formula.t }
+
+val make : int -> t
+val world_count : t -> int
+val naive_size : t -> int

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Format Formula Gen Interp List Logic Parser QCheck QCheck_alcotest Revision Semantics String Var

@@ -1,0 +1,1 @@
+test/test_compact.ml: Alcotest Compact Distance Format Formula Gen Helpers Interp Iterate List Logic Model_based Models Operator Printf QCheck Qbf Random Result Revision Semantics Theory Var

@@ -1,0 +1,1 @@
+test/test_formula.ml: Alcotest Formula Helpers Interp List Logic Models Parser String Theory Var

@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Cnf Formula Hamming Helpers List Logic Models Qbf Satsolver Semantics Var

@@ -1,0 +1,1 @@
+test/test_structures.ml: Alcotest Bdd Cnf Formula Gen Hamming Helpers Horn Interp List Logic Models Qmc Semantics Var

@@ -1,0 +1,1 @@
+test/test_witness.ml: Alcotest Compact Formula Helpers List Logic Printf Random Revision Theory Var Witness

@@ -1,0 +1,74 @@
+(* Shared test utilities: deterministic generators wrapped for QCheck and
+   a few comparison helpers used across the suites. *)
+
+open Logic
+
+let letters = Gen.letters
+
+(* QCheck arbitrary for formulas over a fixed alphabet. *)
+let arb_formula ?(depth = 3) vars =
+  QCheck.make
+    ~print:(fun f -> Formula.to_string f)
+    (fun st -> Gen.formula st ~vars ~depth)
+
+let arb_sat_formula ?(depth = 3) vars =
+  QCheck.make
+    ~print:(fun f -> Formula.to_string f)
+    (fun st ->
+      let rec go tries =
+        let f = Gen.formula st ~vars ~depth in
+        if Semantics.is_sat f then f
+        else if tries > 50 then Formula.top
+        else go (tries + 1)
+      in
+      go 0)
+
+let arb_interp vars =
+  QCheck.make
+    ~print:(fun m -> Format.asprintf "%a" Interp.pp m)
+    (fun st -> Gen.interp st ~vars)
+
+let arb_pair a b = QCheck.pair a b
+let arb_triple a b c = QCheck.triple a b c
+
+(* Model-set equality independent of ordering. *)
+let same_models a b =
+  let norm = List.sort_uniq Var.Set.compare in
+  let a = norm a and b = norm b in
+  List.length a = List.length b && List.for_all2 Var.Set.equal a b
+
+let models_subset a b =
+  List.for_all (fun m -> List.exists (Var.Set.equal m) b) a
+
+let qtest ?(count = 200) name arb prop =
+  QCheck_alcotest.to_alcotest ~speed_level:`Quick
+    (QCheck.Test.make ~count ~name arb prop)
+
+(* Alcotest check shorthand. *)
+let check_bool name expected actual = Alcotest.(check bool) name expected actual
+let check_int name expected actual = Alcotest.(check int) name expected actual
+
+let check_formula_equiv name expected actual =
+  if not (Semantics.equiv expected actual) then
+    Alcotest.failf "%s: expected %a, got %a" name Formula.pp expected
+      Formula.pp actual
+
+let f = Parser.formula_of_string
+
+let interp_of_string s =
+  if String.trim s = "" then Var.Set.empty
+  else
+    Var.set_of_list
+      (List.map (fun x -> Var.named (String.trim x)) (String.split_on_char ',' s))
+
+let check_result_models name result expected =
+  let exp =
+    List.sort_uniq Var.Set.compare (List.map interp_of_string expected)
+  in
+  let got = Revision.Result.models result in
+  if not (same_models got exp) then
+    Alcotest.failf "%s: got %a, expected %a" name
+      (Format.pp_print_list Interp.pp)
+      got
+      (Format.pp_print_list Interp.pp)
+      exp

@@ -1,0 +1,597 @@
+(* Compact representations: Theorems 3.4 and 3.5, the bounded-case
+   formulas (5)-(9), the iterated constructions of Sections 5 and 6, and
+   the Measure machinery they rely on. *)
+
+open Logic
+open Revision
+open Helpers
+
+let vars4 = letters 4
+let vars5 = letters 5
+
+let arb_tp =
+  QCheck.make
+    ~print:(fun (t, p) ->
+      Printf.sprintf "T=%s P=%s" (Formula.to_string t) (Formula.to_string p))
+    (fun st ->
+      let rec sat_f vars depth =
+        let g = Gen.formula st ~vars ~depth in
+        if Semantics.is_sat g then g else sat_f vars depth
+      in
+      (sat_f vars4 3, sat_f vars4 3))
+
+(* Bounded instances: T over five letters, P over the first two. *)
+let arb_bounded_tp =
+  QCheck.make
+    ~print:(fun (t, p) ->
+      Printf.sprintf "T=%s P=%s" (Formula.to_string t) (Formula.to_string p))
+    (fun st ->
+      let rec sat_f vars depth =
+        let g = Gen.formula st ~vars ~depth in
+        if Semantics.is_sat g then g else sat_f vars depth
+      in
+      let pvars = [ List.nth vars5 0; List.nth vars5 1 ] in
+      (sat_f vars5 3, sat_f pvars 2))
+
+(* -- Measure ------------------------------------------------------------- *)
+
+let prop_measure_matches_extensional =
+  qtest "measure = extensional distance machinery" ~count:150 arb_tp
+    (fun (t, p) ->
+      let tm = Models.enumerate vars4 t and pm = Models.enumerate vars4 p in
+      let d_ext = Distance.delta tm pm in
+      let d_sat = Compact.Measure.delta t p in
+      same_models d_ext d_sat
+      && Compact.Measure.k_min t p = Distance.k_global tm pm
+      && Var.Set.equal (Compact.Measure.omega t p) (Distance.omega tm pm))
+
+let test_measure_guards () =
+  (match Compact.Measure.delta (f "a & ~a") (f "b") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unsat T should be rejected");
+  match Compact.Measure.delta (f "a") (f "b & ~b") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unsat P should be rejected"
+
+(* -- Theorem 3.4 (Dalal) ---------------------------------------------------- *)
+
+let prop_dalal_compact_query_equivalent =
+  qtest "thm 3.4: query equivalence" ~count:150 arb_tp (fun (t, p) ->
+      let info = Compact.Dalal_compact.revise_info t p in
+      let sem = Model_based.revise_on Model_based.Dalal vars4 t p in
+      Compact.Verify.query_equivalent sem info.Compact.Dalal_compact.formula)
+
+let prop_dalal_compact_k_correct =
+  qtest "thm 3.4: k = k_{T,P}" ~count:150 arb_tp (fun (t, p) ->
+      let info = Compact.Dalal_compact.revise_info t p in
+      let tm = Models.enumerate vars4 t and pm = Models.enumerate vars4 p in
+      info.Compact.Dalal_compact.k = Distance.k_global tm pm)
+
+let test_dalal_compact_not_logically_equivalent () =
+  (* The representation constrains new letters, so it is *not* logically
+     equivalent in general (Theorem 3.6's asymmetry). *)
+  let t = f "a & b" and p = f "~a" in
+  let info = Compact.Dalal_compact.revise_info t p in
+  check_bool "uses new letters" true
+    (not
+       (Var.Set.subset
+          (Formula.vars info.Compact.Dalal_compact.formula)
+          (Formula.vars (Formula.conj2 t p))))
+
+let test_dalal_compact_rejects_unsat () =
+  (match Compact.Dalal_compact.revise (f "a & ~a") (f "b") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unsat T rejected");
+  match Compact.Dalal_compact.revise (f "a") (f "b & ~b") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unsat P rejected"
+
+(* -- Theorem 3.5 (Weber) ----------------------------------------------------- *)
+
+let prop_weber_compact_query_equivalent =
+  qtest "thm 3.5: query equivalence" ~count:150 arb_tp (fun (t, p) ->
+      let w = Compact.Weber_compact.revise t p in
+      let sem = Model_based.revise_on Model_based.Weber vars4 t p in
+      Compact.Verify.query_equivalent sem w)
+
+let prop_weber_compact_size_linear =
+  qtest "thm 3.5: size <= |T| + |P|" ~count:150 arb_tp (fun (t, p) ->
+      Formula.size (Compact.Weber_compact.revise t p)
+      <= Formula.size t + Formula.size p)
+
+let test_weber_omega_in_vp () =
+  (* Proposition 2.1 corollary: Ω ⊆ V(P). *)
+  let st = Random.State.make [| 61 |] in
+  for _ = 1 to 50 do
+    let t = Gen.formula st ~vars:vars4 ~depth:3 in
+    let p = Gen.formula st ~vars:vars4 ~depth:3 in
+    if Semantics.is_sat t && Semantics.is_sat p then
+      check_bool "Ω ⊆ V(P)" true
+        (Var.Set.subset (Compact.Weber_compact.omega t p) (Formula.vars p))
+  done
+
+(* -- bounded case: formulas (5)-(9) ------------------------------------------- *)
+
+let bounded_logical_equiv op =
+  qtest
+    (Printf.sprintf "bounded %s logically equivalent"
+       (Model_based.name op))
+    ~count:100 arb_bounded_tp
+    (fun (t, p) ->
+      let compactf = Compact.Bounded.for_op op t p in
+      let sem = Model_based.revise_on op vars5 t p in
+      Compact.Verify.logically_equivalent sem compactf)
+
+let bounded_no_new_letters op =
+  qtest
+    (Printf.sprintf "bounded %s introduces no letters" (Model_based.name op))
+    ~count:100 arb_bounded_tp
+    (fun (t, p) ->
+      Var.Set.subset
+        (Formula.vars (Compact.Bounded.for_op op t p))
+        (Var.Set.union (Formula.vars t) (Formula.vars p)))
+
+let test_bounded_size_linear_in_t () =
+  (* For fixed P, sizes of formulas (5)-(9) grow linearly with |T|. *)
+  let p = f "~x1 | ~x2" in
+  let t_of n =
+    Formula.and_
+      (List.map Formula.var (Gen.letters n)
+      @ [ f "x1"; f "x2" ])
+  in
+  List.iter
+    (fun op ->
+      let s10 = Formula.size (Compact.Bounded.for_op op (t_of 10) p) in
+      let s40 = Formula.size (Compact.Bounded.for_op op (t_of 40) p) in
+      (* ratio of sizes ~ ratio of |T| up to the additive constant *)
+      check_bool
+        (Model_based.name op ^ " linear growth")
+        true
+        (s40 < 6 * s10))
+    Model_based.all
+
+let test_bounded_guard () =
+  let p = Formula.or_ (List.map Formula.var (Gen.letters 15)) in
+  match Compact.Bounded.winslett (f "x1") p with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "wide P should be rejected"
+
+let test_bounded_paper_example () =
+  (* Section 4.2: T = a&b&c&d&e, P = ~a|~b. *)
+  let t = f "a & b & c & d & e" and p = f "~a | ~b" in
+  let alpha = List.map Var.named [ "a"; "b"; "c"; "d"; "e" ] in
+  check_result_models "forbus (6)"
+    (Result.make alpha (Models.enumerate alpha (Compact.Bounded.forbus t p)))
+    [ "b,c,d,e"; "a,c,d,e" ];
+  check_result_models "dalal (8)"
+    (Result.make alpha (Models.enumerate alpha (Compact.Bounded.dalal t p)))
+    [ "b,c,d,e"; "a,c,d,e" ];
+  check_result_models "satoh (7)"
+    (Result.make alpha (Models.enumerate alpha (Compact.Bounded.satoh t p)))
+    [ "b,c,d,e"; "a,c,d,e" ];
+  check_result_models "weber (9)"
+    (Result.make alpha (Models.enumerate alpha (Compact.Bounded.weber t p)))
+    [ "b,c,d,e"; "a,c,d,e"; "c,d,e" ]
+
+let test_bounded_winslett_paper_example () =
+  (* Section 6 example: T = x1..x5 all true, P = ~x1. *)
+  let t = f "x1 & x2 & x3 & x4 & x5" and p = f "~x1" in
+  let sem = Model_based.revise_on Model_based.Winslett vars5 t p in
+  check_result_models "winslett ~x1" sem [ "x2,x3,x4,x5" ];
+  check_bool "formula (5) agrees" true
+    (Compact.Verify.logically_equivalent sem (Compact.Bounded.winslett t p));
+  check_bool "formula (12) query-equivalent" true
+    (Compact.Verify.query_equivalent sem (Compact.Iterated_bounded.winslett t p))
+
+(* -- iterated general case (Section 5) ------------------------------------------ *)
+
+let arb_tps m =
+  QCheck.make
+    ~print:(fun (t, ps) ->
+      Format.asprintf "T=%a ps=[%a]" Formula.pp t
+        (Format.pp_print_list Formula.pp) ps)
+    (fun st ->
+      let rec sat_f depth =
+        let g = Gen.formula st ~vars:vars4 ~depth in
+        if Semantics.is_sat g then g else sat_f depth
+      in
+      (sat_f 3, List.init (1 + Random.State.int st m) (fun _ -> sat_f 2)))
+
+let prop_iterated_dalal =
+  qtest "thm 5.1: iterated Dalal query-equivalent" ~count:60 (arb_tps 3)
+    (fun (t, ps) ->
+      let sem = Iterate.revise_seq_on Operator.Dalal vars4 [ t ] ps in
+      let com = Compact.Iterated.final (Compact.Iterated.dalal t ps) in
+      Compact.Verify.query_equivalent sem com)
+
+let prop_iterated_weber =
+  qtest "formula (10): iterated Weber query-equivalent" ~count:60 (arb_tps 3)
+    (fun (t, ps) ->
+      let sem = Iterate.revise_seq_on Operator.Weber vars4 [ t ] ps in
+      let com = Compact.Iterated.final (Compact.Iterated.weber t ps) in
+      Compact.Verify.query_equivalent sem com)
+
+let test_iterated_dalal_size_additive () =
+  (* Each step adds O(|X|^2 + |P^i|): total linear in m. *)
+  let t = Formula.and_ (List.map Formula.var vars4) in
+  let p = f "~x1 | ~x2" in
+  let steps = Compact.Iterated.dalal t (List.init 6 (fun _ -> p)) in
+  let sizes = List.map (fun s -> s.Compact.Iterated.size) steps in
+  let diffs =
+    List.map2 ( - ) (List.tl sizes) (List.filteri (fun i _ -> i < 5) sizes)
+  in
+  let dmax = List.fold_left max 0 diffs
+  and dmin = List.fold_left min max_int diffs in
+  check_bool "per-step growth roughly constant" true (dmax <= dmin + dmin)
+
+(* -- iterated bounded case (Section 6) -------------------------------------------- *)
+
+let arb_bounded_tps =
+  QCheck.make
+    ~print:(fun (t, ps) ->
+      Format.asprintf "T=%a ps=[%a]" Formula.pp t
+        (Format.pp_print_list Formula.pp) ps)
+    (fun st ->
+      let rec sat_f vars depth =
+        let g = Gen.formula st ~vars ~depth in
+        if Semantics.is_sat g then g else sat_f vars depth
+      in
+      let pvars = [ List.nth vars5 0; List.nth vars5 1 ] in
+      ( sat_f vars5 3,
+        List.init (1 + Random.State.int st 3) (fun _ -> sat_f pvars 2) ))
+
+let iterated_bounded_qe name op compactf =
+  qtest
+    (Printf.sprintf "%s iterated bounded query-equivalent" name)
+    ~count:50 arb_bounded_tps
+    (fun (t, ps) ->
+      let sem = Iterate.revise_seq_on op vars5 [ t ] ps in
+      Compact.Verify.query_equivalent sem (compactf t ps))
+
+let test_satoh_formula13_erratum () =
+  (* The minimal counterexample to the paper's formula (13); our corrected
+     construction must handle it. *)
+  let t = f "(x1 != x2) -> x1" and p = f "~x1" in
+  let alpha = [ Var.named "x1"; Var.named "x2" ] in
+  let sem = Model_based.revise_on Model_based.Satoh alpha t p in
+  check_result_models "semantic Satoh" sem [ "" ];
+  check_bool "corrected construction agrees" true
+    (Compact.Verify.query_equivalent sem (Compact.Iterated_bounded.satoh t p))
+
+let test_iterated_bounded_size_additive () =
+  let t = Formula.and_ (List.map Formula.var vars5) in
+  let p = f "~x1 | ~x2" in
+  let size m =
+    Formula.size
+      (Compact.Iterated_bounded.winslett_iter t (List.init m (fun _ -> p)))
+  in
+  let s2 = size 2 and s4 = size 4 and s8 = size 8 in
+  check_bool "additive growth" true (s8 - s4 < 2 * (s4 - s2) + 32)
+
+(* -- compile-then-ask entailment --------------------------------------------------------- *)
+
+let entails_agrees op =
+  qtest
+    (Printf.sprintf "Check.entails %s = extensional" (Model_based.name op))
+    ~count:60
+    (QCheck.triple arb_tp (arb_formula vars4) (arb_formula vars4))
+    (fun ((t, p), q, _) ->
+      Compact.Check.entails op t p q
+      = Result.entails (Model_based.revise_on op vars4 t p) q)
+
+let test_entails_scales () =
+  (* inference at a 30-letter alphabet, no enumeration *)
+  let letters = Gen.letters 30 in
+  let t = Formula.and_ (List.map Formula.var letters) in
+  let p = f "~x1 & ~x2" in
+  check_bool "dalal keeps x17" true
+    (Compact.Check.entails Model_based.Dalal t p (f "x17"));
+  check_bool "dalal drops x1" true
+    (Compact.Check.entails Model_based.Dalal t p (f "~x1"));
+  check_bool "weber keeps x17" true
+    (Compact.Check.entails Model_based.Weber t p (f "x17"));
+  check_bool "no over-claim" false
+    (Compact.Check.entails Model_based.Dalal t p (f "x1"))
+
+(* -- unexpanded QBF views --------------------------------------------------------------- *)
+
+let prop_qbf_views_query_equivalent =
+  qtest "QBF views (12)/(14) expand to query-equivalent formulas" ~count:30
+    arb_bounded_tp
+    (fun (t, p) ->
+      let sem_w = Model_based.revise_on Model_based.Winslett vars5 t p in
+      let sem_f = Model_based.revise_on Model_based.Forbus vars5 t p in
+      Compact.Verify.query_equivalent sem_w
+        (Qbf.expand (Compact.Iterated_bounded.winslett_qbf t p))
+      && Compact.Verify.query_equivalent sem_f
+           (Qbf.expand (Compact.Iterated_bounded.forbus_qbf t p)))
+
+let test_qbf_matrix_polynomial () =
+  (* the matrix stays polynomial as |V(P)| grows; only expansion does not *)
+  let sizes =
+    List.map
+      (fun k ->
+        let vars = Gen.letters (k + 2) in
+        let pvars = List.filteri (fun i _ -> i < k) vars in
+        let t = Formula.and_ (List.map Formula.var vars) in
+        let p =
+          Formula.or_ (List.map (fun v -> Formula.not_ (Formula.var v)) pvars)
+        in
+        let rec qbf_size (q : Qbf.t) =
+          match q with
+          | Qbf.Prop f -> Formula.size f
+          | Qbf.Forall (_, q) | Qbf.Exists (_, q) -> qbf_size q
+          | Qbf.Conj qs -> List.fold_left (fun a q -> a + qbf_size q) 0 qs
+        in
+        qbf_size (Compact.Iterated_bounded.forbus_qbf t p))
+      [ 2; 4; 8 ]
+  in
+  match sizes with
+  | [ s2; s4; s8 ] ->
+      check_bool "matrix growth polynomial" true (s8 < 10 * s4 && s4 < 10 * s2)
+  | _ -> assert false
+
+(* -- SAT-based model checking (Check) ------------------------------------------------- *)
+
+let prop_check_agrees_with_extensional op =
+  qtest
+    (Printf.sprintf "check %s = extensional" (Model_based.name op))
+    ~count:60 arb_tp
+    (fun (t, p) ->
+      let sem = Model_based.revise_on op vars4 t p in
+      List.for_all
+        (fun n ->
+          Compact.Check.model_check op t p n = Result.model_check sem n)
+        (Interp.subsets vars4))
+
+let test_check_scales () =
+  (* An instance far beyond enumeration: 30 unit facts, P flips two. *)
+  let letters = Gen.letters 30 in
+  let t = Formula.and_ (List.map Formula.var letters) in
+  let p = f "~x1 & ~x2" in
+  let all_but_first_two =
+    Var.set_of_list (List.filteri (fun i _ -> i >= 2) letters)
+  in
+  List.iter
+    (fun op ->
+      check_bool
+        (Model_based.name op ^ " selects the flip")
+        true
+        (Compact.Check.model_check op t p all_but_first_two);
+      check_bool
+        (Model_based.name op ^ " rejects a gratuitous extra flip")
+        false
+        (Compact.Check.model_check op t p
+           (Var.Set.remove (List.nth letters 5) all_but_first_two)))
+    Model_based.all
+
+let test_check_dist_to () =
+  let alphabet = letters 3 in
+  check_bool "distance 0" true
+    (Compact.Check.dist_to (f "x1 | x2") (interp_of_string "x1") alphabet
+    = Some 0);
+  check_bool "distance 2" true
+    (Compact.Check.dist_to (f "x1 & x2 & x3") (interp_of_string "x1") alphabet
+    = Some 2);
+  check_bool "unsat" true
+    (Compact.Check.dist_to (f "x1 & ~x1") Var.Set.empty alphabet = None)
+
+(* -- Session (Section 6.2 strategy) -------------------------------------------------- *)
+
+let test_session_lazy_incorporation () =
+  let s = Compact.Session.create ~op:Operator.Dalal (Theory.of_string "a & b") in
+  Compact.Session.revise s (f "~a");
+  Compact.Session.revise s (f "~b");
+  check_int "log length" 2 (List.length (Compact.Session.log s));
+  check_bool "ask ~a" true (Compact.Session.ask s (f "~a"));
+  check_bool "ask ~b" true (Compact.Session.ask s (f "~b"));
+  check_bool "model check {}" true
+    (Compact.Session.model_check s Var.Set.empty);
+  (* compile is query-equivalent to the session's semantics *)
+  check_bool "compile query-equivalent" true
+    (Compact.Verify.query_equivalent (Compact.Session.result s)
+       (Compact.Session.compile s))
+
+let test_session_all_ops_compile () =
+  let st = Random.State.make [| 71 |] in
+  let pvars = [ List.nth vars5 0; List.nth vars5 1 ] in
+  for _ = 1 to 10 do
+    let rec sat_f vars depth =
+      let g = Gen.formula st ~vars ~depth in
+      if Semantics.is_sat g then g else sat_f vars depth
+    in
+    let t = sat_f vars5 3 in
+    let ps = List.init 2 (fun _ -> sat_f pvars 2) in
+    List.iter
+      (fun op ->
+        let s = Compact.Session.create ~op [ t ] in
+        List.iter (Compact.Session.revise s) ps;
+        check_bool
+          (Operator.name op ^ " session compile")
+          true
+          (Compact.Verify.query_equivalent (Compact.Session.result s)
+             (Compact.Session.compile s)))
+      [
+        Operator.Widtio;
+        Operator.Winslett;
+        Operator.Borgida;
+        Operator.Forbus;
+        Operator.Satoh;
+        Operator.Dalal;
+        Operator.Weber;
+      ]
+  done
+
+let test_session_gfuv_restrictions () =
+  let s = Compact.Session.create ~op:Operator.Gfuv (Theory.of_string "a; b") in
+  Compact.Session.revise s (f "~b");
+  check_bool "single GFUV revision answers" true
+    (Compact.Session.ask s (f "a"));
+  (match Compact.Session.revise s (f "~a") with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "second GFUV revision should be rejected");
+  match Compact.Session.compile s with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "GFUV compile should be rejected"
+
+let test_session_empty_log () =
+  let s = Compact.Session.create ~op:Operator.Dalal (Theory.of_string "a -> b") in
+  check_bool "base consequences" true (Compact.Session.ask s (f "a -> b"));
+  check_bool "compile = base" true
+    (Semantics.equiv (Compact.Session.compile s) (f "a -> b"))
+
+let test_session_cache_invalidation () =
+  let s = Compact.Session.create ~op:Operator.Dalal (Theory.of_string "a") in
+  check_bool "a holds" true (Compact.Session.ask s (f "a"));
+  Compact.Session.revise s (f "~a");
+  check_bool "a retracted after revise" false (Compact.Session.ask s (f "a"));
+  check_bool "~a holds" true (Compact.Session.ask s (f "~a"))
+
+let test_measure_trivial_p () =
+  (* V(P) = {} : the only realizable difference is the empty one. *)
+  let d = Compact.Measure.delta (f "a | b") Formula.top in
+  check_int "delta = {{}}" 1 (List.length d);
+  check_bool "empty diff" true (Var.Set.is_empty (List.hd d));
+  check_int "k = 0" 0 (Compact.Measure.k_min (f "a | b") Formula.top)
+
+let test_dalal_compact_consistent_case () =
+  (* T ∧ P consistent: k = 0 and the representation is query-equivalent
+     to T ∧ P. *)
+  let t = f "a | b" and p = f "a" in
+  let info = Compact.Dalal_compact.revise_info t p in
+  check_int "k = 0" 0 info.Compact.Dalal_compact.k;
+  let sem = Model_based.revise Model_based.Dalal t p in
+  check_bool "equals T∧P" true
+    (Compact.Verify.query_equivalent sem (Formula.conj2 t p))
+
+let test_check_requires_sat () =
+  (match Compact.Check.model_check Model_based.Dalal (f "a & ~a") (f "b") Var.Set.empty with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unsat T");
+  match Compact.Check.model_check Model_based.Dalal (f "a") (f "b & ~b") Var.Set.empty with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unsat P"
+
+let test_check_rejects_non_p_model () =
+  check_bool "not a model of P" false
+    (Compact.Check.model_check Model_based.Dalal (f "a") (f "b")
+       Var.Set.empty)
+
+(* -- Names -------------------------------------------------------------------------- *)
+
+let test_names_avoid_capture () =
+  let xs = [ Var.named "nm_a"; Var.named "nm_b" ] in
+  let avoid = Var.set_of_list [ Var.named "nm_a'" ] in
+  let ys = Compact.Names.copy ~avoid ~suffix:"'" xs in
+  List.iter
+    (fun y ->
+      check_bool "fresh" false (List.mem y xs || Var.Set.mem y avoid))
+    ys;
+  check_int "same length" 2 (List.length ys)
+
+let () =
+  Alcotest.run "compact"
+    [
+      ( "measure",
+        [
+          prop_measure_matches_extensional;
+          Alcotest.test_case "guards" `Quick test_measure_guards;
+        ] );
+      ( "thm 3.4 dalal",
+        [
+          prop_dalal_compact_query_equivalent;
+          prop_dalal_compact_k_correct;
+          Alcotest.test_case "not logically equivalent" `Quick
+            test_dalal_compact_not_logically_equivalent;
+          Alcotest.test_case "rejects unsat" `Quick
+            test_dalal_compact_rejects_unsat;
+        ] );
+      ( "thm 3.5 weber",
+        [
+          prop_weber_compact_query_equivalent;
+          prop_weber_compact_size_linear;
+          Alcotest.test_case "omega within V(P)" `Quick test_weber_omega_in_vp;
+        ] );
+      ( "bounded (5)-(9)",
+        List.map bounded_logical_equiv Model_based.all
+        @ List.map bounded_no_new_letters Model_based.all
+        @ [
+            Alcotest.test_case "linear in |T|" `Quick
+              test_bounded_size_linear_in_t;
+            Alcotest.test_case "width guard" `Quick test_bounded_guard;
+            Alcotest.test_case "paper example (4.2)" `Quick
+              test_bounded_paper_example;
+            Alcotest.test_case "paper example (section 6)" `Quick
+              test_bounded_winslett_paper_example;
+          ] );
+      ( "iterated general (section 5)",
+        [
+          prop_iterated_dalal;
+          prop_iterated_weber;
+          Alcotest.test_case "additive size growth" `Quick
+            test_iterated_dalal_size_additive;
+        ] );
+      ( "iterated bounded (section 6)",
+        [
+          iterated_bounded_qe "winslett" Operator.Winslett
+            Compact.Iterated_bounded.winslett_iter;
+          iterated_bounded_qe "borgida" Operator.Borgida
+            Compact.Iterated_bounded.borgida_iter;
+          iterated_bounded_qe "forbus" Operator.Forbus
+            Compact.Iterated_bounded.forbus_iter;
+          iterated_bounded_qe "satoh" Operator.Satoh
+            Compact.Iterated_bounded.satoh_iter;
+          Alcotest.test_case "formula (13) erratum" `Quick
+            test_satoh_formula13_erratum;
+          Alcotest.test_case "additive size growth" `Quick
+            test_iterated_bounded_size_additive;
+        ] );
+      ( "compile-then-ask entailment",
+        [
+          entails_agrees Model_based.Dalal;
+          entails_agrees Model_based.Weber;
+          entails_agrees Model_based.Winslett;
+          entails_agrees Model_based.Satoh;
+          Alcotest.test_case "scales past enumeration" `Quick
+            test_entails_scales;
+        ] );
+      ( "qbf views",
+        [
+          prop_qbf_views_query_equivalent;
+          Alcotest.test_case "polynomial matrix" `Quick
+            test_qbf_matrix_polynomial;
+        ] );
+      ( "sat model checking",
+        List.map prop_check_agrees_with_extensional Model_based.all
+        @ [
+            Alcotest.test_case "scales past enumeration" `Quick
+              test_check_scales;
+            Alcotest.test_case "dist_to" `Quick test_check_dist_to;
+          ] );
+      ( "session",
+        [
+          Alcotest.test_case "lazy incorporation" `Quick
+            test_session_lazy_incorporation;
+          Alcotest.test_case "compile across operators" `Quick
+            test_session_all_ops_compile;
+          Alcotest.test_case "gfuv restrictions" `Quick
+            test_session_gfuv_restrictions;
+          Alcotest.test_case "empty log" `Quick test_session_empty_log;
+        ] );
+      ( "edge cases",
+        [
+          Alcotest.test_case "session cache invalidation" `Quick
+            test_session_cache_invalidation;
+          Alcotest.test_case "measure with trivial P" `Quick
+            test_measure_trivial_p;
+          Alcotest.test_case "dalal compact, consistent case" `Quick
+            test_dalal_compact_consistent_case;
+          Alcotest.test_case "check requires satisfiable input" `Quick
+            test_check_requires_sat;
+          Alcotest.test_case "check rejects non-P-model" `Quick
+            test_check_rejects_non_p_model;
+        ] );
+      ( "names",
+        [ Alcotest.test_case "capture avoidance" `Quick test_names_avoid_capture ]
+      );
+    ]
