@@ -12,6 +12,55 @@ let fixed_instance () =
   let p = Data.sat_formula st ~vars ~depth:3 in
   (vars, t, p)
 
+(* Old-vs-new: the legacy Var.Set.t list pipeline against the packed
+   bitvector pipeline on the same instances.  Near-threshold random
+   3-CNFs keep the model sets small, so both engines' cost is dominated
+   by the 2^n enumeration sweep the packed representation accelerates. *)
+let packed_instance n =
+  let st = Data.fresh_state () in
+  let vars = Gen.letters n in
+  let rec sat_cnf () =
+    let f = Gen.cnf3 st ~vars ~nclauses:(4 * n) in
+    if Semantics.is_sat f then f else sat_cnf ()
+  in
+  (vars, sat_cnf (), sat_cnf ())
+
+let packed_vs_legacy_tests () =
+  List.concat_map
+    (fun n ->
+      let vars, t, p = packed_instance n in
+      List.concat_map
+        (fun op ->
+          let name engine =
+            Printf.sprintf "packed-vs-legacy/%s-n%d/%s"
+              (Revision.Model_based.name op) n engine
+          in
+          [
+            Test.make ~name:(name "legacy")
+              (Staged.stage (fun () ->
+                   ignore (Revision.Model_based.Legacy.revise_on op vars t p)));
+            Test.make ~name:(name "packed")
+              (Staged.stage (fun () ->
+                   ignore (Revision.Model_based.revise_on op vars t p)));
+          ])
+        [ Revision.Model_based.Dalal; Revision.Model_based.Winslett ])
+    [ 12; 14; 16 ]
+
+(* The SAT-backed enumerator past the legacy 25-letter cap: 30 letters,
+   6 models.  There is no legacy row — Models.Legacy.enumerate rejects
+   alphabets beyond 25 letters outright. *)
+let sat_enumerator_test () =
+  let vars = Gen.letters 30 in
+  let fixed = List.filteri (fun i _ -> i < 27) vars in
+  let a = List.nth vars 27 and b = List.nth vars 28 in
+  let f =
+    Formula.and_
+      (List.map Formula.var fixed
+      @ [ Formula.disj2 (Formula.var a) (Formula.var b) ])
+  in
+  Test.make ~name:"enumerate/sat-walk-n30-6models"
+    (Staged.stage (fun () -> ignore (Models.enumerate vars f)))
+
 let make_tests () =
   let vars, t, p = fixed_instance () in
   let revise_tests =
@@ -96,7 +145,9 @@ let make_tests () =
   in
   Test.make_grouped ~name:"revkb"
     (revise_tests @ check_tests
+    @ packed_vs_legacy_tests ()
     @ [
+        sat_enumerator_test ();
         sat_test;
         exa_test;
         dalal_compact_test;
@@ -130,16 +181,36 @@ let run () =
       results []
     |> List.sort compare
   in
+  let human ns =
+    if Float.is_nan ns then "n/a"
+    else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+    else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+    else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+    else Printf.sprintf "%.0f ns" ns
+  in
   Report.table
     [ "benchmark"; "time/run" ]
-    (List.map
-       (fun (name, ns) ->
-         let human =
-           if Float.is_nan ns then "n/a"
-           else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
-           else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
-           else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
-           else Printf.sprintf "%.0f ns" ns
-         in
-         [ name; human ])
-       rows)
+    (List.map (fun (name, ns) -> [ name; human ns ]) rows);
+  (* Pair the .../legacy and .../packed rows into explicit speedups. *)
+  let suffix = "/legacy" in
+  let speedups =
+    List.filter_map
+      (fun (name, legacy_ns) ->
+        match Filename.check_suffix name suffix with
+        | false -> None
+        | true ->
+            let base = Filename.chop_suffix name suffix in
+            List.assoc_opt (base ^ "/packed") rows
+            |> Option.map (fun packed_ns ->
+                   [
+                     base;
+                     human legacy_ns;
+                     human packed_ns;
+                     Printf.sprintf "%.1fx" (legacy_ns /. packed_ns);
+                   ]))
+      rows
+  in
+  if speedups <> [] then begin
+    Report.subsection "packed engine vs legacy list engine";
+    Report.table [ "instance"; "legacy"; "packed"; "speedup" ] speedups
+  end

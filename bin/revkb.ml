@@ -222,8 +222,16 @@ let sat_cmd =
       & info [] ~docv:"FILE" ~doc:"DIMACS CNF file.")
   in
   let run path =
-    let _, clauses = Satsolver.Dimacs.parse_file path in
+    let nvars, clauses =
+      try Satsolver.Dimacs.parse_file path
+      with Failure msg ->
+        Printf.eprintf "revkb: %s\n" msg;
+        exit 1
+    in
     let solver = Satsolver.Solver.create () in
+    (* Allocate up to the header's declared count so the v line covers
+       variables that appear in no clause (reported as false). *)
+    Satsolver.Solver.ensure_nvars solver nvars;
     Satsolver.Dimacs.load solver clauses;
     if Satsolver.Solver.solve solver then begin
       print_endline "s SATISFIABLE";

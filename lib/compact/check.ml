@@ -34,7 +34,9 @@ let dist_to f n alphabet =
 
 (* CEGAR for the pointwise operators.  [refutes m] must return true when
    the witness [m] does NOT select [n]; witnesses are drawn from the
-   models of [t] and blocked one by one. *)
+   models of [t] and blocked one by one.  Witnesses are handled as packed
+   masks when the alphabet fits in one ([exists_witness_packed]); the
+   [Var.Set.t] variant remains for larger alphabets. *)
 let exists_witness ~cap t alphabet refutes =
   let env = Semantics.create () in
   List.iter (fun x -> ignore (Semantics.lit_of_var env x)) alphabet;
@@ -46,6 +48,26 @@ let exists_witness ~cap t alphabet refutes =
       let m = Semantics.model_on env alphabet in
       if refutes m then begin
         Semantics.block env alphabet m;
+        loop (i + 1)
+      end
+      else true
+    end
+  in
+  loop 0
+
+let exists_witness_packed ~cap t alpha refutes =
+  let env = Semantics.create () in
+  List.iter
+    (fun x -> ignore (Semantics.lit_of_var env x))
+    (Interp_packed.letters alpha);
+  Semantics.assert_formula env t;
+  let rec loop i =
+    if i > cap then failwith "Compact.Check: CEGAR cap exceeded"
+    else if not (Semantics.solve env) then false
+    else begin
+      let m = Semantics.mask_on env alpha in
+      if refutes m then begin
+        Semantics.block_mask env alpha m;
         loop (i + 1)
       end
       else true
@@ -89,12 +111,52 @@ let closer_by_cardinality p alphabet m d =
   | None -> false
   | Some dp -> dp < d
 
+(* Mask variant of [closer_by_inclusion]: the difference is one [lxor],
+   and the pin/strict formulas read bits instead of set membership. *)
+let closer_by_inclusion_packed p alpha m n =
+  let d = m lxor n in
+  if d = 0 then false
+  else begin
+    let bits = List.mapi (fun i x -> (1 lsl i, x)) (Interp_packed.letters alpha) in
+    let agree =
+      Formula.and_
+        (List.filter_map
+           (fun (bit, x) ->
+             if d land bit <> 0 then None
+             else Some (Formula.lit (m land bit <> 0) x))
+           bits)
+    in
+    let strictly_inside =
+      Formula.or_
+        (List.filter_map
+           (fun (bit, x) ->
+             if d land bit <> 0 then Some (Formula.lit (m land bit <> 0) x)
+             else None)
+           bits)
+    in
+    Semantics.is_sat (Formula.and_ [ p; agree; strictly_inside ])
+  end
+
 let winslett_check ~cap t p alphabet n =
-  exists_witness ~cap t alphabet (fun m -> closer_by_inclusion p alphabet m n)
+  let alpha = Interp_packed.alphabet alphabet in
+  if Interp_packed.fits alpha then
+    let n = Interp_packed.pack alpha n in
+    exists_witness_packed ~cap t alpha (fun m ->
+        closer_by_inclusion_packed p alpha m n)
+  else
+    exists_witness ~cap t alphabet (fun m ->
+        closer_by_inclusion p alphabet m n)
 
 let forbus_check ~cap t p alphabet n =
-  exists_witness ~cap t alphabet (fun m ->
-      closer_by_cardinality p alphabet m (Interp.hamming m n))
+  let alpha = Interp_packed.alphabet alphabet in
+  if Interp_packed.fits alpha then
+    let n_mask = Interp_packed.pack alpha n in
+    exists_witness_packed ~cap t alpha (fun m ->
+        closer_by_cardinality p alphabet (Interp_packed.unpack alpha m)
+          (Interp_packed.hamming m n_mask))
+  else
+    exists_witness ~cap t alphabet (fun m ->
+        closer_by_cardinality p alphabet m (Interp.hamming m n))
 
 let model_check ?(cegar_cap = 50_000) op t p n =
   if not (Semantics.is_sat t) then

@@ -1,21 +1,38 @@
 open Logic
 
+(* Model-set comparisons run packed: both sides become sorted mask arrays
+   over the result's alphabet and compare with structural equality. *)
+
 let same_model_sets a b =
   let norm = List.sort_uniq Var.Set.compare in
   let a = norm a and b = norm b in
   List.length a = List.length b && List.for_all2 Var.Set.equal a b
+
+let same_model_sets_on alphabet a b =
+  let alpha = Interp_packed.alphabet alphabet in
+  if Interp_packed.fits alpha then
+    Interp_packed.equal_set
+      (Interp_packed.set_of_interps alpha a)
+      (Interp_packed.set_of_interps alpha b)
+  else same_model_sets a b
 
 let logically_equivalent result f =
   let alphabet = Revision.Result.alphabet result in
   if not (Var.Set.subset (Formula.vars f) (Var.set_of_list alphabet)) then
     false
   else
-    same_model_sets
-      (Models.enumerate alphabet f)
-      (Revision.Result.models result)
+    let alpha = Interp_packed.alphabet alphabet in
+    if Interp_packed.fits alpha then
+      Interp_packed.equal_set
+        (Models.enumerate_packed alpha f)
+        (Interp_packed.set_of_interps alpha (Revision.Result.models result))
+    else
+      same_model_sets
+        (Models.enumerate alphabet f)
+        (Revision.Result.models result)
 
 let query_equivalent result f =
   let alphabet = Revision.Result.alphabet result in
-  same_model_sets
+  same_model_sets_on alphabet
     (Semantics.models_sat alphabet f)
     (Revision.Result.models result)

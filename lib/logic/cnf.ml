@@ -8,15 +8,39 @@ let to_formula cnf =
   Formula.and_ (List.map (fun c -> Formula.or_ (List.map lit_formula c)) cnf)
 
 (* Distributive conversion on the NNF.  Clauses are kept set-like; a
-   clause containing complementary literals is dropped. *)
+   clause containing complementary literals is dropped.  The explosion
+   guard counts clauses as they are produced and fails fast, so hitting
+   the cap costs O(cap) work and memory, not the full cross product. *)
 let of_formula_naive f =
   let cap = 100_000 in
-  let check cs =
-    if List.length cs > cap then
-      invalid_arg "Cnf.of_formula_naive: clause explosion";
-    cs
+  let blow () = invalid_arg "Cnf.of_formula_naive: clause explosion" in
+  (* [concat_capped] and [product_step] build their results one clause at
+     a time, bailing out the moment the count passes [cap]. *)
+  let concat_capped parts =
+    let n = ref 0 in
+    List.concat_map
+      (fun cs ->
+        List.iter
+          (fun _ ->
+            incr n;
+            if !n > cap then blow ())
+          cs;
+        cs)
+      parts
   in
   let clause_union c1 c2 = List.sort_uniq compare (c1 @ c2) in
+  let product_step acc cs =
+    let n = ref 0 in
+    List.concat_map
+      (fun c1 ->
+        List.map
+          (fun c2 ->
+            incr n;
+            if !n > cap then blow ();
+            clause_union c1 c2)
+          cs)
+      acc
+  in
   let tautological c =
     List.exists (fun (s, x) -> List.mem (not s, x) c) c
   in
@@ -27,18 +51,10 @@ let of_formula_naive f =
     | Var x -> [ [ (true, x) ] ]
     | Not (Var x) -> [ [ (false, x) ] ]
     | Not _ -> assert false (* NNF *)
-    | And gs -> check (List.concat_map go gs)
+    | And gs -> concat_capped (List.map go gs)
     | Or gs ->
         let parts = List.map go gs in
-        let product =
-          List.fold_left
-            (fun acc cs ->
-              check
-                (List.concat_map
-                   (fun c1 -> List.map (clause_union c1) cs)
-                   acc))
-            [ [] ] parts
-        in
+        let product = List.fold_left product_step [ [] ] parts in
         List.filter (fun c -> not (tautological c)) product
     | Imp _ | Iff _ | Xor _ -> assert false (* NNF *)
   in

@@ -14,7 +14,12 @@ let restrict alphabet m = Var.Set.inter m alphabet
 let subsets alphabet =
   let arr = Array.of_list alphabet in
   let n = Array.length arr in
-  if n > 25 then invalid_arg "Interp.subsets: alphabet too large";
+  if n > 25 then
+    invalid_arg
+      (Printf.sprintf
+         "Interp.subsets: alphabet has %d letters, limit is 25 (use the \
+          SAT-backed Models.enumerate for larger alphabets)"
+         n);
   let out = ref [] in
   for code = (1 lsl n) - 1 downto 0 do
     let s = ref Var.Set.empty in

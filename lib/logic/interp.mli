@@ -25,8 +25,10 @@ val restrict : Var.Set.t -> t -> t
 
 val subsets : Var.t list -> t list
 (** All [2^n] subsets of an alphabet, in binary-counter order.  The
-    workhorse of brute-force model enumeration; only call on small
-    alphabets. *)
+    workhorse of legacy brute-force model enumeration; raises
+    [Invalid_argument] (naming the limit) past 25 letters.  Prefer
+    {!Models.enumerate}, which switches to SAT-backed enumeration for
+    large alphabets instead of failing. *)
 
 val min_incl : Var.Set.t list -> Var.Set.t list
 (** The paper's [minc S]: keep only the subset-minimal sets (duplicates

@@ -1,0 +1,196 @@
+type alphabet = {
+  arr : Var.t array; (* bit i <-> arr.(i), sorted by Var.compare *)
+  index : (Var.t, int) Hashtbl.t;
+}
+
+let alphabet vars =
+  let arr = Array.of_list (Var.Set.elements (Var.set_of_list vars)) in
+  let index = Hashtbl.create (Array.length arr) in
+  Array.iteri (fun i x -> Hashtbl.replace index x i) arr;
+  { arr; index }
+
+let alphabet_of_formulas fs =
+  alphabet
+    (Var.Set.elements
+       (List.fold_left
+          (fun acc f -> Var.Set.union acc (Formula.vars f))
+          Var.Set.empty fs))
+
+let size alpha = Array.length alpha.arr
+let letters alpha = Array.to_list alpha.arr
+let max_letters = Sys.int_size - 1
+let fits alpha = size alpha <= max_letters
+let mem_letter alpha x = Hashtbl.mem alpha.index x
+
+type t = int
+
+let pack alpha m =
+  Var.Set.fold
+    (fun x acc ->
+      match Hashtbl.find_opt alpha.index x with
+      | Some i -> acc lor (1 lsl i)
+      | None -> acc)
+    m 0
+
+let unpack alpha mask =
+  let s = ref Var.Set.empty in
+  let rest = ref mask in
+  while !rest <> 0 do
+    let low = !rest land - !rest in
+    (* index of the lowest set bit *)
+    let rec bit i b = if b = low then i else bit (i + 1) (b lsl 1) in
+    s := Var.Set.add alpha.arr.(bit 0 1) !s;
+    rest := !rest lxor low
+  done;
+  !s
+
+(* SWAR popcount.  The 64-bit constants exceed OCaml's 63-bit literal
+   range, so they are assembled from 32-bit halves; masks only ever use
+   bits 0..61 ([max_letters]), so the byte-sum multiply stays exact. *)
+let m1 = (0x55555555 lsl 32) lor 0x55555555
+let m2 = (0x33333333 lsl 32) lor 0x33333333
+let m4 = (0x0f0f0f0f lsl 32) lor 0x0f0f0f0f
+let h01 = (0x01010101 lsl 32) lor 0x01010101
+
+let popcount x =
+  let x = x - ((x lsr 1) land m1) in
+  let x = (x land m2) + ((x lsr 2) land m2) in
+  let x = (x + (x lsr 4)) land m4 in
+  (x * h01) lsr 56
+
+let hamming m n = popcount (m lxor n)
+let subset a b = a land lnot b = 0
+
+let compile alpha (f : Formula.t) =
+  let rec go (f : Formula.t) : t -> bool =
+    match f with
+    | True -> fun _ -> true
+    | False -> fun _ -> false
+    | Var x -> (
+        match Hashtbl.find_opt alpha.index x with
+        | Some i ->
+            let bit = 1 lsl i in
+            fun m -> m land bit <> 0
+        | None -> fun _ -> false)
+    | Not g ->
+        let g = go g in
+        fun m -> not (g m)
+    | And gs ->
+        let gs = List.map go gs in
+        fun m -> List.for_all (fun g -> g m) gs
+    | Or gs ->
+        let gs = List.map go gs in
+        fun m -> List.exists (fun g -> g m) gs
+    | Imp (a, b) ->
+        let a = go a and b = go b in
+        fun m -> (not (a m)) || b m
+    | Iff (a, b) ->
+        let a = go a and b = go b in
+        fun m -> a m = b m
+    | Xor (a, b) ->
+        let a = go a and b = go b in
+        fun m -> a m <> b m
+  in
+  go f
+
+let sat alpha m f = compile alpha f m
+
+type set = t array
+
+let normalize masks =
+  let a = Array.copy masks in
+  Array.sort Int.compare a;
+  let n = Array.length a in
+  if n = 0 then a
+  else begin
+    let k = ref 1 in
+    for i = 1 to n - 1 do
+      if a.(i) <> a.(!k - 1) then begin
+        a.(!k) <- a.(i);
+        incr k
+      end
+    done;
+    Array.sub a 0 !k
+  end
+
+let set_of_interps alpha ms =
+  normalize (Array.of_list (List.map (pack alpha) ms))
+
+let interps_of_set alpha set =
+  Array.to_list (Array.map (unpack alpha) set)
+
+let mem set mask =
+  let lo = ref 0 and hi = ref (Array.length set) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if set.(mid) < mask then lo := mid + 1 else hi := mid
+  done;
+  !lo < Array.length set && set.(!lo) = mask
+
+let equal_set a b = a = b
+
+let filter p set =
+  let out = ref [] and count = ref 0 in
+  for i = Array.length set - 1 downto 0 do
+    if p set.(i) then begin
+      out := set.(i) :: !out;
+      incr count
+    end
+  done;
+  let a = Array.make !count 0 in
+  List.iteri (fun i m -> a.(i) <- m) !out;
+  a
+
+let inter a b = filter (mem b) a
+let exists p set = Array.exists p set
+let union_all set = Array.fold_left ( lor ) 0 set
+
+(* Sort by popcount so every potential strict subset of a mask precedes
+   it; then a mask survives iff no earlier survivor is contained in it. *)
+let min_incl masks =
+  let a = normalize masks in
+  Array.sort
+    (fun x y ->
+      match Int.compare (popcount x) (popcount y) with
+      | 0 -> Int.compare x y
+      | c -> c)
+    a;
+  let out = ref [] in
+  Array.iter
+    (fun m ->
+      if not (List.exists (fun m' -> subset m' m) !out) then out := m :: !out)
+    a;
+  normalize (Array.of_list !out)
+
+let max_incl masks =
+  let a = normalize masks in
+  Array.sort
+    (fun x y ->
+      match Int.compare (popcount y) (popcount x) with
+      | 0 -> Int.compare x y
+      | c -> c)
+    a;
+  let out = ref [] in
+  Array.iter
+    (fun m ->
+      if not (List.exists (fun m' -> subset m m') !out) then out := m :: !out)
+    a;
+  normalize (Array.of_list !out)
+
+let sweep alpha pred =
+  let n = size alpha in
+  if not (fits alpha) then
+    invalid_arg
+      (Printf.sprintf
+         "Interp_packed.sweep: alphabet has %d letters, masks hold at most %d"
+         n max_letters);
+  let buf = ref [] and count = ref 0 in
+  for code = (1 lsl n) - 1 downto 0 do
+    if pred code then begin
+      buf := code :: !buf;
+      incr count
+    end
+  done;
+  let out = Array.make !count 0 in
+  List.iteri (fun i m -> out.(i) <- m) !buf;
+  out

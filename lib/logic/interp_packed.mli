@@ -1,0 +1,95 @@
+(** Packed interpretations: one interpretation = one [int] bitmask.
+
+    The brute-force pipeline behind the model-based operators spends its
+    time building, diffing and comparing {!Interp.t} values — balanced
+    trees of integers.  Over an explicit alphabet of at most
+    {!max_letters} letters the same data fits in a single native [int]:
+    bit [i] of a mask is the truth value of the alphabet's [i]-th letter.
+    Symmetric difference becomes [lxor], Hamming distance a popcount,
+    subset tests a [land]/compare, and model sets become sorted [int
+    array]s that compare with [Array] equality.
+
+    The packed engine is internal machinery: public APIs keep speaking
+    {!Interp.t}, and {!pack}/{!unpack} convert at the boundary. *)
+
+type alphabet
+(** A fixed, ordered alphabet: letter [i] of the alphabet owns bit [i].
+    Construction sorts and deduplicates, so the bit order is the
+    {!Var.compare} order, matching {!Interp.subsets}' counter order. *)
+
+val alphabet : Var.t list -> alphabet
+val alphabet_of_formulas : Formula.t list -> alphabet
+
+val size : alphabet -> int
+(** Number of letters. *)
+
+val letters : alphabet -> Var.t list
+
+val max_letters : int
+(** Largest alphabet a mask can hold: [Sys.int_size - 1] (62 on 64-bit),
+    keeping masks non-negative. *)
+
+val fits : alphabet -> bool
+(** Does the alphabet fit in one mask?  Callers fall back to the legacy
+    set-based path when it does not. *)
+
+val mem_letter : alphabet -> Var.t -> bool
+
+(** {1 Masks} *)
+
+type t = int
+(** Bit [i] set iff letter [i] of the alphabet is true.  Bits at and above
+    {!size} are always zero. *)
+
+val pack : alphabet -> Interp.t -> t
+(** Letters of the interpretation outside the alphabet are dropped
+    (projection, like {!Interp.restrict}). *)
+
+val unpack : alphabet -> t -> Interp.t
+val popcount : t -> int
+
+val hamming : t -> t -> int
+(** [popcount (m lxor n)]: the paper's [|M Δ N|]. *)
+
+val subset : t -> t -> bool
+(** [subset a b]: is [a] a subset of [b] (as sets of true letters)? *)
+
+val compile : alphabet -> Formula.t -> t -> bool
+(** [compile alpha f] specializes [f] into a mask predicate; letters of
+    [f] outside the alphabet read false.  Compile once, evaluate per
+    mask — this is what makes the [2^n] sweep cheap. *)
+
+val sat : alphabet -> t -> Formula.t -> bool
+(** One-shot [compile] + apply; prefer {!compile} in loops. *)
+
+(** {1 Model sets: sorted duplicate-free [int array]s} *)
+
+type set = t array
+
+val normalize : t array -> set
+(** Sort ascending and deduplicate (in a fresh array). *)
+
+val set_of_interps : alphabet -> Interp.t list -> set
+val interps_of_set : alphabet -> set -> Interp.t list
+
+val mem : set -> t -> bool
+(** Binary search. *)
+
+val equal_set : set -> set -> bool
+val inter : set -> set -> set
+val filter : (t -> bool) -> set -> set
+val exists : (t -> bool) -> set -> bool
+val union_all : set -> t
+(** [lor] over the set: the union of the member sets of letters. *)
+
+val min_incl : t array -> set
+(** The paper's [minc]: subset-minimal masks (input need not be sorted;
+    duplicates collapse).  Masks are sets of letters here, so minimality
+    is bitwise inclusion. *)
+
+val max_incl : t array -> set
+(** [maxc]. *)
+
+val sweep : alphabet -> (t -> bool) -> set
+(** All masks [0 .. 2^size - 1] satisfying the predicate, ascending: the
+    packed truth-table sweep.  Requires [fits]. *)

@@ -6,25 +6,90 @@ let alphabet_of fs =
   in
   Var.Set.elements vs
 
-let enumerate alphabet f =
+let sat_cutover = 20
+
+let check_alphabet name alphabet f =
   let missing = Var.Set.diff (Formula.vars f) (Var.set_of_list alphabet) in
   if not (Var.Set.is_empty missing) then
     invalid_arg
-      (Format.asprintf "Models.enumerate: letters %a not in alphabet"
-         Var.pp_set missing);
-  List.filter (fun m -> Interp.sat m f) (Interp.subsets alphabet)
+      (Format.asprintf "%s: letters %a not in alphabet" name Var.pp_set
+         missing)
+
+(* Letters outside the alphabet read false, as in Interp.sat over
+   alphabet-restricted interpretations: pin them before a SAT query. *)
+let assign_false_outside alphabet f =
+  let inside = Var.set_of_list alphabet in
+  let outside = Var.Set.diff (Formula.vars f) inside in
+  if Var.Set.is_empty outside then f
+  else
+    Formula.assign_vars
+      (Var.Set.fold (fun x acc -> Var.Map.add x false acc) outside
+         Var.Map.empty)
+      f
+
+module Legacy = struct
+  let enumerate alphabet f =
+    check_alphabet "Models.enumerate" alphabet f;
+    List.filter (fun m -> Interp.sat m f) (Interp.subsets alphabet)
+
+  let equivalent_on alphabet a b =
+    List.for_all
+      (fun m -> Interp.sat m a = Interp.sat m b)
+      (Interp.subsets alphabet)
+
+  let entails_on alphabet a b =
+    List.for_all
+      (fun m -> (not (Interp.sat m a)) || Interp.sat m b)
+      (Interp.subsets alphabet)
+end
+
+let enumerate_packed ?cap alpha f =
+  check_alphabet "Models.enumerate" (Interp_packed.letters alpha) f;
+  if Interp_packed.size alpha <= sat_cutover then
+    Interp_packed.sweep alpha (Interp_packed.compile alpha f)
+  else Semantics.masks_sat ?cap alpha f
+
+let enumerate alphabet f =
+  let n = List.length alphabet in
+  if n <= sat_cutover then
+    let alpha = Interp_packed.alphabet alphabet in
+    Interp_packed.interps_of_set alpha (enumerate_packed alpha f)
+  else begin
+    check_alphabet "Models.enumerate" alphabet f;
+    List.sort Var.Set.compare (Semantics.models_sat alphabet f)
+  end
 
 let count alphabet f = List.length (enumerate alphabet f)
 
 let equivalent_on alphabet a b =
-  List.for_all
-    (fun m -> Interp.sat m a = Interp.sat m b)
-    (Interp.subsets alphabet)
+  if List.length alphabet <= sat_cutover then begin
+    let alpha = Interp_packed.alphabet alphabet in
+    let fa = Interp_packed.compile alpha a
+    and fb = Interp_packed.compile alpha b in
+    let n = Interp_packed.size alpha in
+    let rec go code = code < 0 || (fa code = fb code && go (code - 1)) in
+    go ((1 lsl n) - 1)
+  end
+  else
+    Semantics.equiv
+      (assign_false_outside alphabet a)
+      (assign_false_outside alphabet b)
 
 let entails_on alphabet a b =
-  List.for_all
-    (fun m -> (not (Interp.sat m a)) || Interp.sat m b)
-    (Interp.subsets alphabet)
+  if List.length alphabet <= sat_cutover then begin
+    let alpha = Interp_packed.alphabet alphabet in
+    let fa = Interp_packed.compile alpha a
+    and fb = Interp_packed.compile alpha b in
+    let n = Interp_packed.size alpha in
+    let rec go code =
+      code < 0 || (((not (fa code)) || fb code) && go (code - 1))
+    in
+    go ((1 lsl n) - 1)
+  end
+  else
+    Semantics.entails
+      (assign_false_outside alphabet a)
+      (assign_false_outside alphabet b)
 
 let project sub models =
   List.sort_uniq Var.Set.compare (List.map (Interp.restrict sub) models)

@@ -1,22 +1,46 @@
-(** Brute-force model enumeration over an explicit alphabet.
+(** Model enumeration over an explicit alphabet.
 
     Model-based revision operators are defined on the full model sets of
     [T] and [P] over their joint alphabet; this module materializes those
-    sets.  Exponential in the alphabet size by design — the library's
-    benchmarks measure exactly such explosions — so alphabets are capped at
-    25 letters. *)
+    sets.  Two engines sit behind the one API, selected automatically by
+    alphabet size:
+
+    - at most {!sat_cutover} letters: a packed truth-table sweep — the
+      formula is compiled to a mask predicate ({!Interp_packed.compile})
+      and all [2^n] masks are swept;
+    - beyond the cutover: a SAT-backed enumerator that walks the models of
+      the Tseitin-encoded formula via blocking clauses on the incremental
+      CDCL solver ({!Semantics.masks_sat}), so formulas with small model
+      sets over large alphabets (even past the 25-letter brute-force cap)
+      enumerate in time proportional to the answer.
+
+    The original list-based engine survives in {!Legacy} as the reference
+    implementation for differential tests and old-vs-new benchmarks. *)
 
 val alphabet_of : Formula.t list -> Var.t list
 (** Sorted joint alphabet of a list of formulas. *)
 
+val sat_cutover : int
+(** Alphabet size above which enumeration switches from the packed
+    [2^n] sweep to SAT-backed model walking (currently 20). *)
+
 val enumerate : Var.t list -> Formula.t -> Interp.t list
 (** All models of the formula over the given alphabet (which must contain
-    the formula's own letters). *)
+    the formula's own letters).  Beyond {!sat_cutover} letters the result
+    order is [Var.Set.compare]-sorted rather than counter order, and the
+    SAT walk's 1M-model cap applies ({!Semantics.models_sat}). *)
+
+val enumerate_packed :
+  ?cap:int -> Interp_packed.alphabet -> Formula.t -> Interp_packed.set
+(** Packed-native [enumerate]: the hot pipeline's entry point.  [cap]
+    bounds the SAT walk (ignored by the sweep). *)
 
 val count : Var.t list -> Formula.t -> int
 
 val equivalent_on : Var.t list -> Formula.t -> Formula.t -> bool
-(** Logical equivalence decided by truth-table sweep over the alphabet. *)
+(** Logical equivalence over the alphabet: packed truth-table sweep below
+    the cutover, SAT equivalence above it.  Letters outside the alphabet
+    read false in both formulas. *)
 
 val entails_on : Var.t list -> Formula.t -> Formula.t -> bool
 
@@ -28,3 +52,13 @@ val dnf_of_models : Var.t list -> Interp.t list -> Formula.t
 (** The naive representation: disjunction of minterms.  This is the
     "completely naive storage organization" whose size Winslett's
     conjecture (Section 3.1) is about. *)
+
+(** The original [Var.Set.t]-list engine: a filtered {!Interp.subsets}
+    sweep, capped at 25 letters.  Kept verbatim so property tests can
+    assert the packed engine agrees with it and benchmarks can report the
+    speedup. *)
+module Legacy : sig
+  val enumerate : Var.t list -> Formula.t -> Interp.t list
+  val equivalent_on : Var.t list -> Formula.t -> Formula.t -> bool
+  val entails_on : Var.t list -> Formula.t -> Formula.t -> bool
+end

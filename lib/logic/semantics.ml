@@ -118,6 +118,43 @@ let block env alphabet m =
   in
   add env clause
 
+let mask_on env alpha =
+  let mask = ref 0 in
+  List.iteri
+    (fun i x ->
+      if S.value env.solver (lit_of_var env x) then mask := !mask lor (1 lsl i))
+    (Interp_packed.letters alpha);
+  !mask
+
+let block_mask env alpha mask =
+  let clause =
+    List.mapi
+      (fun i x ->
+        let l = lit_of_var env x in
+        if mask land (1 lsl i) <> 0 then L.neg l else l)
+      (Interp_packed.letters alpha)
+  in
+  add env clause
+
+let masks_sat ?(cap = 1_000_000) alpha f =
+  if not (Interp_packed.fits alpha) then
+    invalid_arg "Semantics.masks_sat: alphabet too large for masks";
+  let env = create () in
+  List.iter
+    (fun x -> ignore (lit_of_var env x))
+    (Interp_packed.letters alpha);
+  assert_formula env f;
+  let rec go acc n =
+    if n > cap then failwith "Semantics.masks_sat: cap exceeded"
+    else if solve env then begin
+      let m = mask_on env alpha in
+      block_mask env alpha m;
+      go (m :: acc) (n + 1)
+    end
+    else Interp_packed.normalize (Array.of_list acc)
+  in
+  go [] 0
+
 let is_sat f =
   let env = create () in
   assert_formula env f;

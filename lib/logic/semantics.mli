@@ -38,6 +38,21 @@ val is_valid : Formula.t -> bool
 val entails : Formula.t -> Formula.t -> bool
 val equiv : Formula.t -> Formula.t -> bool
 
+val mask_on : env -> Interp_packed.alphabet -> Interp_packed.t
+(** Projection of the last model onto a packed alphabet, as a mask. *)
+
+val block_mask : env -> Interp_packed.alphabet -> Interp_packed.t -> unit
+(** Mask-level {!block}. *)
+
+val masks_sat :
+  ?cap:int -> Interp_packed.alphabet -> Formula.t -> Interp_packed.set
+(** Packed {!models_sat}: walk the models of the Tseitin-encoded formula
+    with blocking clauses on the incremental CDCL solver, reading each
+    model off as a bitmask.  This is the enumerator behind
+    {!Models.enumerate} for alphabets past the brute-force cutover.
+    Requires the alphabet to fit in a mask; raises [Failure] at [cap]
+    (default 1_000_000) so truncation is never silent. *)
+
 val models_sat : ?cap:int -> Var.t list -> Formula.t -> Interp.t list
 (** All distinct projections onto the given letters of models of the
     formula, found by iterated SAT with blocking clauses.  When the

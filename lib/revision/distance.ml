@@ -1,27 +1,122 @@
 open Logic
 
+(* Unified contract: every distance is taken over nonempty model sets.
+   The paper's definitions presuppose satisfiable T and P; callers
+   (Model_based.select) dispatch the degenerate cases before measuring. *)
+let require name models =
+  if models = [] then invalid_arg ("Distance." ^ name ^ ": empty model set")
+
+module Packed = struct
+  module IP = Interp_packed
+
+  let require name set =
+    if Array.length set = 0 then
+      invalid_arg ("Distance." ^ name ^ ": empty model set")
+
+  let mu m p_models =
+    require "mu" p_models;
+    IP.min_incl (Array.map (fun n -> m lxor n) p_models)
+
+  let k_pointwise m p_models =
+    require "k_pointwise" p_models;
+    Array.fold_left (fun acc n -> min acc (IP.hamming m n)) max_int p_models
+
+  let delta t_models p_models =
+    require "delta" t_models;
+    require "delta" p_models;
+    let nt = Array.length t_models and np = Array.length p_models in
+    let diffs = Array.make (nt * np) 0 in
+    for i = 0 to nt - 1 do
+      let m = t_models.(i) in
+      for j = 0 to np - 1 do
+        diffs.((i * np) + j) <- m lxor p_models.(j)
+      done
+    done;
+    IP.min_incl diffs
+
+  let k_global t_models p_models =
+    require "k_global" t_models;
+    require "k_global" p_models;
+    Array.fold_left
+      (fun acc m -> min acc (k_pointwise m p_models))
+      max_int t_models
+
+  let omega t_models p_models = IP.union_all (delta t_models p_models)
+end
+
+module Legacy = struct
+  let mu m p_models =
+    require "mu" p_models;
+    Interp.min_incl (List.map (fun n -> Interp.sym_diff m n) p_models)
+
+  let k_pointwise m p_models =
+    require "k_pointwise" p_models;
+    List.fold_left
+      (fun acc n -> min acc (Interp.hamming m n))
+      max_int p_models
+
+  let delta t_models p_models =
+    require "delta" t_models;
+    require "delta" p_models;
+    Interp.min_incl (List.concat_map (fun m -> mu m p_models) t_models)
+
+  let k_global t_models p_models =
+    require "k_global" t_models;
+    require "k_global" p_models;
+    List.fold_left
+      (fun acc m -> min acc (k_pointwise m p_models))
+      max_int t_models
+
+  let omega t_models p_models =
+    List.fold_left Var.Set.union Var.Set.empty (delta t_models p_models)
+end
+
+(* Var.Set wrappers: pack over the union alphabet of the inputs (letters
+   false everywhere cannot appear in a symmetric difference), run the
+   packed engine, unpack.  Oversized alphabets fall back to Legacy. *)
+
+let joint_alphabet interps =
+  Interp_packed.alphabet
+    (Var.Set.elements
+       (List.fold_left Var.Set.union Var.Set.empty interps))
+
 let mu m p_models =
-  Interp.min_incl (List.map (fun n -> Interp.sym_diff m n) p_models)
+  require "mu" p_models;
+  let alpha = joint_alphabet (m :: p_models) in
+  if Interp_packed.fits alpha then
+    Interp_packed.interps_of_set alpha
+      (Packed.mu (Interp_packed.pack alpha m)
+         (Interp_packed.set_of_interps alpha p_models))
+  else Legacy.mu m p_models
 
 let k_pointwise m p_models =
-  match p_models with
-  | [] -> invalid_arg "Distance.k_pointwise: P has no models"
-  | _ ->
-      List.fold_left
-        (fun acc n -> min acc (Interp.hamming m n))
-        max_int p_models
+  require "k_pointwise" p_models;
+  let alpha = joint_alphabet (m :: p_models) in
+  if Interp_packed.fits alpha then
+    Packed.k_pointwise (Interp_packed.pack alpha m)
+      (Interp_packed.set_of_interps alpha p_models)
+  else Legacy.k_pointwise m p_models
 
 let delta t_models p_models =
-  Interp.min_incl
-    (List.concat_map (fun m -> mu m p_models) t_models)
+  require "delta" t_models;
+  require "delta" p_models;
+  let alpha = joint_alphabet (t_models @ p_models) in
+  if Interp_packed.fits alpha then
+    Interp_packed.interps_of_set alpha
+      (Packed.delta
+         (Interp_packed.set_of_interps alpha t_models)
+         (Interp_packed.set_of_interps alpha p_models))
+  else Legacy.delta t_models p_models
 
 let k_global t_models p_models =
-  match (t_models, p_models) with
-  | [], _ | _, [] -> invalid_arg "Distance.k_global: empty model set"
-  | _ ->
-      List.fold_left
-        (fun acc m -> min acc (k_pointwise m p_models))
-        max_int t_models
+  require "k_global" t_models;
+  require "k_global" p_models;
+  let alpha = joint_alphabet (t_models @ p_models) in
+  if Interp_packed.fits alpha then
+    Packed.k_global
+      (Interp_packed.set_of_interps alpha t_models)
+      (Interp_packed.set_of_interps alpha p_models)
+  else Legacy.k_global t_models p_models
 
 let omega t_models p_models =
   List.fold_left Var.Set.union Var.Set.empty (delta t_models p_models)

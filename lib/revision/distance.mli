@@ -1,7 +1,21 @@
 (** Distance machinery shared by the model-based operators (Section 2.2.2).
 
     Throughout, models are identified with the sets of letters they make
-    true, and distances are symmetric differences of such sets. *)
+    true, and distances are symmetric differences of such sets.
+
+    {b Contract (uniform across every function here):} model sets must be
+    nonempty.  [mu]/[k_pointwise] raise [Invalid_argument] when [P] has no
+    models; [delta]/[k_global]/[omega] when either side is empty.  The
+    paper assumes satisfiable [T] and [P]; {!Model_based.select} handles
+    the degenerate cases before any distance is measured, so these guards
+    only trip on misuse.
+
+    The [Var.Set.t] API below is a thin wrapper over the packed engine
+    ({!Packed}): inputs are packed into bitmasks over their joint
+    alphabet, measured with [lxor]/popcount, and unpacked.  Alphabets too
+    large for a mask fall back to {!Legacy}, the original list-based
+    implementation, which is also kept as the reference for differential
+    tests and old-vs-new benchmarks. *)
 
 open Logic
 
@@ -11,7 +25,7 @@ val mu : Interp.t -> Interp.t list -> Var.Set.t list
 
 val k_pointwise : Interp.t -> Interp.t list -> int
 (** [k_{M,P}]: minimum cardinality of a difference between [m] and a model
-    of [P].  Raises [Invalid_argument] on an empty model list. *)
+    of [P]. *)
 
 val delta : Interp.t list -> Interp.t list -> Var.Set.t list
 (** [delta t_models p_models] is [δ(T, P) = minc ∪_{M |= T} µ(M, P)]. *)
@@ -23,3 +37,25 @@ val k_global : Interp.t list -> Interp.t list -> int
 val omega : Interp.t list -> Interp.t list -> Var.Set.t
 (** [Ω = ∪ δ(T, P)]: every letter appearing in at least one minimal
     difference (Weber's revision). *)
+
+(** Packed engine: masks over a shared {!Interp_packed.alphabet}.
+    Symmetric difference is [lxor], Hamming distance popcount, and
+    minimal-difference filtering bitwise-inclusion over sorted mask
+    arrays.  Same nonempty contract as above. *)
+module Packed : sig
+  val mu : Interp_packed.t -> Interp_packed.set -> Interp_packed.set
+  val k_pointwise : Interp_packed.t -> Interp_packed.set -> int
+  val delta : Interp_packed.set -> Interp_packed.set -> Interp_packed.set
+  val k_global : Interp_packed.set -> Interp_packed.set -> int
+  val omega : Interp_packed.set -> Interp_packed.set -> Interp_packed.t
+end
+
+(** The original list-of-[Var.Set.t] implementation (reference /
+    fallback).  Same nonempty contract as above. *)
+module Legacy : sig
+  val mu : Interp.t -> Interp.t list -> Var.Set.t list
+  val k_pointwise : Interp.t -> Interp.t list -> int
+  val delta : Interp.t list -> Interp.t list -> Var.Set.t list
+  val k_global : Interp.t list -> Interp.t list -> int
+  val omega : Interp.t list -> Interp.t list -> Var.Set.t
+end

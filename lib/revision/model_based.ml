@@ -22,73 +22,178 @@ let of_name s =
   | "weber" -> Some Weber
   | _ -> None
 
-let winslett t_models p_models =
-  List.filter
-    (fun n ->
-      List.exists
-        (fun m ->
-          let d = Interp.sym_diff m n in
-          List.exists (Var.Set.equal d) (Distance.mu m p_models))
-        t_models)
-    p_models
+(* Packed engine: models are bitmasks, model sets sorted int arrays.
+   Beyond the representation change, the pointwise operators hoist the
+   per-M work (µ(M, P), k_{M,P}) out of the per-N loop, which the legacy
+   code recomputed for every candidate N. *)
+module Packed = struct
+  module IP = Interp_packed
 
-let borgida t_models p_models =
-  let inter =
-    List.filter (fun n -> List.exists (Interp.equal n) t_models) p_models
-  in
-  if inter <> [] then inter else winslett t_models p_models
+  let winslett t_models p_models =
+    let mus = Array.map (fun m -> Distance.Packed.mu m p_models) t_models in
+    IP.filter
+      (fun n ->
+        let rec probe i =
+          i < Array.length t_models
+          && (IP.mem mus.(i) (t_models.(i) lxor n) || probe (i + 1))
+        in
+        probe 0)
+      p_models
 
-let forbus t_models p_models =
-  List.filter
-    (fun n ->
-      List.exists
-        (fun m -> Interp.hamming m n = Distance.k_pointwise m p_models)
-        t_models)
-    p_models
+  let borgida t_models p_models =
+    let inter = IP.inter p_models t_models in
+    if Array.length inter > 0 then inter else winslett t_models p_models
 
-let satoh t_models p_models =
-  let d = Distance.delta t_models p_models in
-  List.filter
-    (fun n ->
-      List.exists
-        (fun m -> List.exists (Var.Set.equal (Interp.sym_diff n m)) d)
-        t_models)
-    p_models
+  let forbus t_models p_models =
+    let ks =
+      Array.map (fun m -> Distance.Packed.k_pointwise m p_models) t_models
+    in
+    IP.filter
+      (fun n ->
+        let rec probe i =
+          i < Array.length t_models
+          && (IP.hamming t_models.(i) n = ks.(i) || probe (i + 1))
+        in
+        probe 0)
+      p_models
 
-let dalal t_models p_models =
-  let k = Distance.k_global t_models p_models in
-  List.filter
-    (fun n -> List.exists (fun m -> Interp.hamming n m = k) t_models)
-    p_models
+  let satoh t_models p_models =
+    let d = Distance.Packed.delta t_models p_models in
+    IP.filter
+      (fun n -> IP.exists (fun m -> IP.mem d (n lxor m)) t_models)
+      p_models
 
-let weber t_models p_models =
-  let omega = Distance.omega t_models p_models in
-  List.filter
-    (fun n ->
-      List.exists
-        (fun m -> Var.Set.subset (Interp.sym_diff n m) omega)
-        t_models)
-    p_models
+  let dalal t_models p_models =
+    let k = Distance.Packed.k_global t_models p_models in
+    IP.filter
+      (fun n -> IP.exists (fun m -> IP.hamming n m = k) t_models)
+      p_models
+
+  let weber t_models p_models =
+    let omega = Distance.Packed.omega t_models p_models in
+    IP.filter
+      (fun n -> IP.exists (fun m -> IP.subset (n lxor m) omega) t_models)
+      p_models
+
+  let select op t_models p_models =
+    if Array.length p_models = 0 then [||]
+    else if Array.length t_models = 0 then p_models
+    else
+      match op with
+      | Winslett -> winslett t_models p_models
+      | Borgida -> borgida t_models p_models
+      | Forbus -> forbus t_models p_models
+      | Satoh -> satoh t_models p_models
+      | Dalal -> dalal t_models p_models
+      | Weber -> weber t_models p_models
+end
+
+(* The original list-of-Var.Set engine, kept as the reference for
+   differential tests, the old-vs-new benchmarks, and as fallback for
+   alphabets too large to pack. *)
+module Legacy = struct
+  let winslett t_models p_models =
+    List.filter
+      (fun n ->
+        List.exists
+          (fun m ->
+            let d = Interp.sym_diff m n in
+            List.exists (Var.Set.equal d) (Distance.Legacy.mu m p_models))
+          t_models)
+      p_models
+
+  let borgida t_models p_models =
+    let inter =
+      List.filter (fun n -> List.exists (Interp.equal n) t_models) p_models
+    in
+    if inter <> [] then inter else winslett t_models p_models
+
+  let forbus t_models p_models =
+    List.filter
+      (fun n ->
+        List.exists
+          (fun m ->
+            Interp.hamming m n = Distance.Legacy.k_pointwise m p_models)
+          t_models)
+      p_models
+
+  let satoh t_models p_models =
+    let d = Distance.Legacy.delta t_models p_models in
+    List.filter
+      (fun n ->
+        List.exists
+          (fun m -> List.exists (Var.Set.equal (Interp.sym_diff n m)) d)
+          t_models)
+      p_models
+
+  let dalal t_models p_models =
+    let k = Distance.Legacy.k_global t_models p_models in
+    List.filter
+      (fun n -> List.exists (fun m -> Interp.hamming n m = k) t_models)
+      p_models
+
+  let weber t_models p_models =
+    let omega = Distance.Legacy.omega t_models p_models in
+    List.filter
+      (fun n ->
+        List.exists
+          (fun m -> Var.Set.subset (Interp.sym_diff n m) omega)
+          t_models)
+      p_models
+
+  let select op t_models p_models =
+    match p_models with
+    | [] -> []
+    | _ -> (
+        match t_models with
+        | [] -> p_models
+        | _ -> (
+            match op with
+            | Winslett -> winslett t_models p_models
+            | Borgida -> borgida t_models p_models
+            | Forbus -> forbus t_models p_models
+            | Satoh -> satoh t_models p_models
+            | Dalal -> dalal t_models p_models
+            | Weber -> weber t_models p_models))
+
+  let revise_on op alphabet t p =
+    let t_models = Models.Legacy.enumerate alphabet t in
+    let p_models = Models.Legacy.enumerate alphabet p in
+    Result.make alphabet (select op t_models p_models)
+end
 
 let select op t_models p_models =
-  match p_models with
-  | [] -> []
-  | _ -> (
-      match t_models with
-      | [] -> p_models
-      | _ -> (
-          match op with
-          | Winslett -> winslett t_models p_models
-          | Borgida -> borgida t_models p_models
-          | Forbus -> forbus t_models p_models
-          | Satoh -> satoh t_models p_models
-          | Dalal -> dalal t_models p_models
-          | Weber -> weber t_models p_models))
+  match (p_models, t_models) with
+  | [], _ -> []
+  | _, [] -> p_models
+  | _ ->
+      (* Letters false in every model cannot enter a symmetric difference,
+         so packing over the models' own letters is lossless. *)
+      let alpha =
+        Interp_packed.alphabet
+          (Var.Set.elements
+             (List.fold_left Var.Set.union Var.Set.empty
+                (t_models @ p_models)))
+      in
+      if Interp_packed.fits alpha then
+        Interp_packed.interps_of_set alpha
+          (Packed.select op
+             (Interp_packed.set_of_interps alpha t_models)
+             (Interp_packed.set_of_interps alpha p_models))
+      else Legacy.select op t_models p_models
 
 let revise_on op alphabet t p =
-  let t_models = Models.enumerate alphabet t in
-  let p_models = Models.enumerate alphabet p in
-  Result.make alphabet (select op t_models p_models)
+  let alpha = Interp_packed.alphabet alphabet in
+  if Interp_packed.fits alpha then
+    let t_models = Models.enumerate_packed alpha t in
+    let p_models = Models.enumerate_packed alpha p in
+    Result.make alphabet
+      (Interp_packed.interps_of_set alpha
+         (Packed.select op t_models p_models))
+  else
+    let t_models = Models.enumerate alphabet t in
+    let p_models = Models.enumerate alphabet p in
+    Result.make alphabet (Legacy.select op t_models p_models)
 
 let revise op t p =
   let alphabet = Models.alphabet_of [ t; p ] in

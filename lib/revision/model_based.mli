@@ -28,11 +28,35 @@ val of_name : string -> op option
 
 val select : op -> Interp.t list -> Interp.t list -> Interp.t list
 (** [select op t_models p_models]: the surviving models of [P]
-    (boundary conventions above). *)
+    (boundary conventions above).  Internally packs both sets into
+    bitmasks over their joint letters and runs {!Packed.select}; falls
+    back to {!Legacy.select} when they do not fit in a mask. *)
 
 val revise_on : op -> Var.t list -> Formula.t -> Formula.t -> Result.t
 (** Revision with models enumerated over an explicit alphabet, which must
-    contain the letters of both formulas. *)
+    contain the letters of both formulas.  Runs the packed pipeline
+    ({!Models.enumerate_packed} + {!Packed.select}); past
+    {!Models.sat_cutover} letters enumeration is SAT-backed, so large
+    alphabets work as long as the model sets stay small. *)
 
 val revise : op -> Formula.t -> Formula.t -> Result.t
 (** [revise_on] over the joint alphabet [V(T) ∪ V(P)]. *)
+
+(** The packed hot path: operators on mask sets ({!Interp_packed.set})
+    over a shared alphabet.  The pointwise operators compute each model
+    [M]'s measure ([µ(M, P)], [k_{M,P}]) once, instead of once per
+    candidate as the legacy engine did. *)
+module Packed : sig
+  val select :
+    op -> Interp_packed.set -> Interp_packed.set -> Interp_packed.set
+end
+
+(** The original list-of-[Var.Set.t] engine, kept verbatim: reference for
+    differential tests, baseline for old-vs-new benchmarks, fallback for
+    unpackable alphabets. *)
+module Legacy : sig
+  val select : op -> Interp.t list -> Interp.t list -> Interp.t list
+
+  val revise_on : op -> Var.t list -> Formula.t -> Formula.t -> Result.t
+  (** Enumerates with {!Models.Legacy.enumerate} (25-letter cap). *)
+end

@@ -21,7 +21,20 @@ let parse_string s =
       else
         match line.[0] with
         | 'c' | '%' -> ()
-        | 'p' -> () (* header; variable/clause counts are recomputed *)
+        | 'p' -> (
+            (* "p cnf NVARS NCLAUSES".  The declared variable count is
+               authoritative for variables that appear in no clause; the
+               scan below can only raise it. *)
+            match
+              String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+            with
+            | [ "p"; "cnf"; nv; _ ] -> (
+                match int_of_string_opt nv with
+                | Some n when n >= 0 -> if n > !nvars then nvars := n
+                | _ ->
+                    failwith
+                      (Printf.sprintf "dimacs: bad header %S" line))
+            | _ -> failwith (Printf.sprintf "dimacs: bad header %S" line))
         | _ ->
             String.split_on_char ' ' line
             |> List.filter (fun t -> t <> "")

@@ -5,7 +5,10 @@
 
 val parse_string : string -> int * Lit.t list list
 (** [parse_string s] parses DIMACS CNF text and returns
-    [(nvars, clauses)].  Raises [Failure] on malformed input. *)
+    [(nvars, clauses)].  [nvars] is the maximum of the header's declared
+    variable count and the largest variable actually mentioned, so
+    declared-but-unused variables still count.  Raises [Failure] on
+    malformed input. *)
 
 val parse_file : string -> int * Lit.t list list
 

@@ -44,6 +44,11 @@ let qtest ?(count = 200) name arb prop =
   QCheck_alcotest.to_alcotest ~speed_level:`Quick
     (QCheck.Test.make ~count ~name arb prop)
 
+let contains_substring s sub =
+  let n = String.length s and k = String.length sub in
+  let rec at i = i + k <= n && (String.sub s i k = sub || at (i + 1)) in
+  at 0
+
 (* Alcotest check shorthand. *)
 let check_bool name expected actual = Alcotest.(check bool) name expected actual
 let check_int name expected actual = Alcotest.(check int) name expected actual

@@ -1,0 +1,212 @@
+(* Differential tests for the packed bitvector engine: on random
+   formulas (n <= 10) the packed pipeline must agree exactly with the
+   legacy Var.Set.t list pipeline — enumeration, equivalence checks, all
+   six model-based operators and the distance machinery — plus unit tests
+   for the packed primitives, the SAT-backed enumerator past the legacy
+   25-letter cap, and the unified Distance empty-set contract. *)
+
+open Logic
+open Revision
+open Helpers
+
+let vars6 = letters 6
+let vars10 = letters 10
+
+let arb_f10 = arb_formula ~depth:4 vars10
+
+(* Pairs of satisfiable formulas over vars6 (small enough that the
+   quadratic legacy operators stay fast under 200 QCheck cases). *)
+let arb_tp =
+  QCheck.make
+    ~print:(fun (t, p) ->
+      Printf.sprintf "T=%s P=%s" (Formula.to_string t) (Formula.to_string p))
+    (fun st ->
+      let rec sat_f () =
+        let g = Gen.formula st ~vars:vars6 ~depth:3 in
+        if Semantics.is_sat g then g else sat_f ()
+      in
+      (sat_f (), sat_f ()))
+
+(* -- packed primitives ----------------------------------------------------- *)
+
+let test_pack_roundtrip () =
+  let alpha = Interp_packed.alphabet vars10 in
+  List.iter
+    (fun m ->
+      let mask = Interp_packed.pack alpha m in
+      check_bool "roundtrip" true
+        (Var.Set.equal m (Interp_packed.unpack alpha mask));
+      check_int "popcount = cardinal" (Var.Set.cardinal m)
+        (Interp_packed.popcount mask))
+    (Interp.subsets (letters 8))
+
+let test_popcount_exhaustive () =
+  let rec count x = if x = 0 then 0 else (x land 1) + count (x lsr 1) in
+  for x = 0 to 4097 do
+    check_int "popcount small" (count x) (Interp_packed.popcount x)
+  done;
+  (* stress the high bits the SWAR constants must cover *)
+  let top = 1 lsl (Interp_packed.max_letters - 1) in
+  check_int "top bit" 1 (Interp_packed.popcount top);
+  check_int "all payload bits" Interp_packed.max_letters
+    (Interp_packed.popcount ((top - 1) lor top))
+
+let prop_sat_agrees =
+  qtest "Interp_packed.sat = Interp.sat" ~count:200 arb_f10 (fun fm ->
+      let alpha = Interp_packed.alphabet vars10 in
+      let eval = Interp_packed.compile alpha fm in
+      List.for_all
+        (fun m -> eval (Interp_packed.pack alpha m) = Interp.sat m fm)
+        (Interp.subsets (letters 8)))
+
+let prop_min_incl_agrees =
+  qtest "packed min_incl = Interp.min_incl" ~count:200
+    (QCheck.list_of_size (QCheck.Gen.int_range 0 12) (arb_interp vars6))
+    (fun sets ->
+      let alpha = Interp_packed.alphabet vars6 in
+      let masks = Array.of_list (List.map (Interp_packed.pack alpha) sets) in
+      same_models
+        (Interp_packed.interps_of_set alpha (Interp_packed.min_incl masks))
+        (Interp.min_incl sets))
+
+(* -- enumeration ------------------------------------------------------------ *)
+
+let prop_enumerate_agrees =
+  qtest "enumerate: packed = legacy" ~count:200 arb_f10 (fun fm ->
+      same_models
+        (Models.enumerate vars10 fm)
+        (Models.Legacy.enumerate vars10 fm))
+
+let prop_sat_enumerator_agrees =
+  qtest "enumerate: SAT walk = sweep" ~count:50 arb_f10 (fun fm ->
+      let alpha = Interp_packed.alphabet vars10 in
+      Interp_packed.equal_set
+        (Semantics.masks_sat alpha fm)
+        (Interp_packed.sweep alpha (Interp_packed.compile alpha fm)))
+
+let prop_equivalent_on_agrees =
+  qtest "equivalent_on: packed = legacy" ~count:200
+    (arb_pair arb_f10 arb_f10) (fun (a, b) ->
+      Models.equivalent_on vars10 a b = Models.Legacy.equivalent_on vars10 a b
+      && Models.equivalent_on vars10 a a)
+
+let prop_entails_on_agrees =
+  qtest "entails_on: packed = legacy" ~count:200 (arb_pair arb_f10 arb_f10)
+    (fun (a, b) ->
+      Models.entails_on vars10 a b = Models.Legacy.entails_on vars10 a b)
+
+(* The tentpole's large-alphabet case: 30 letters is past the legacy
+   25-letter brute-force cap, but the SAT-backed enumerator walks the
+   (small) model set directly. *)
+let test_enumerate_beyond_legacy_cap () =
+  let vars30 = letters 30 in
+  let fixed = List.filteri (fun i _ -> i < 27) vars30 in
+  let x28 = List.nth vars30 27 and x29 = List.nth vars30 28 in
+  let fm =
+    Formula.and_
+      (List.map Formula.var fixed
+      @ [ Formula.disj2 (Formula.var x28) (Formula.var x29) ])
+  in
+  (match Models.Legacy.enumerate vars30 fm with
+  | exception Invalid_argument msg ->
+      check_bool "legacy error names the limit" true
+        (contains_substring msg "25")
+  | _ -> Alcotest.fail "legacy path should reject 30 letters");
+  let ms = Models.enumerate vars30 fm in
+  (* x28|x29 gives 3 assignments, x30 is free: 6 models *)
+  check_int "model count" 6 (List.length ms);
+  List.iter (fun m -> check_bool "is model" true (Interp.sat m fm)) ms
+
+(* -- operators --------------------------------------------------------------- *)
+
+let op_agrees op =
+  qtest
+    (Printf.sprintf "select %s: packed = legacy" (Model_based.name op))
+    ~count:200 arb_tp
+    (fun (t, p) ->
+      let t_models = Models.Legacy.enumerate vars6 t in
+      let p_models = Models.Legacy.enumerate vars6 p in
+      same_models
+        (Model_based.select op t_models p_models)
+        (Model_based.Legacy.select op t_models p_models))
+
+let revise_agrees op =
+  qtest
+    (Printf.sprintf "revise_on %s: packed = legacy" (Model_based.name op))
+    ~count:100 arb_tp
+    (fun (t, p) ->
+      same_models
+        (Result.models (Model_based.revise_on op vars6 t p))
+        (Result.models (Model_based.Legacy.revise_on op vars6 t p)))
+
+(* -- distance ----------------------------------------------------------------- *)
+
+let prop_distance_agrees =
+  qtest "Distance {mu,delta,k_global,omega}: packed = legacy" ~count:200
+    (arb_pair (arb_interp vars6) arb_tp)
+    (fun (m, (t, p)) ->
+      let t_models = Models.Legacy.enumerate vars6 t in
+      let p_models = Models.Legacy.enumerate vars6 p in
+      (t_models = [] || p_models = [])
+      || same_models (Distance.mu m p_models)
+           (Distance.Legacy.mu m p_models)
+         && Distance.k_pointwise m p_models
+            = Distance.Legacy.k_pointwise m p_models
+         && same_models
+              (Distance.delta t_models p_models)
+              (Distance.Legacy.delta t_models p_models)
+         && Distance.k_global t_models p_models
+            = Distance.Legacy.k_global t_models p_models
+         && Var.Set.equal
+              (Distance.omega t_models p_models)
+              (Distance.Legacy.omega t_models p_models))
+
+(* -- the unified empty-model-set contract -------------------------------------- *)
+
+let test_distance_empty_contract () =
+  let some = [ Var.set_of_list [ List.hd vars6 ] ] in
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument msg ->
+        check_bool
+          (name ^ " error is attributed")
+          true
+          (contains_substring msg "Distance.")
+    | _ -> Alcotest.failf "%s accepted an empty model set" name
+  in
+  expect_invalid "mu" (fun () -> ignore (Distance.mu Var.Set.empty []));
+  expect_invalid "k_pointwise" (fun () ->
+      ignore (Distance.k_pointwise Var.Set.empty []));
+  expect_invalid "delta []/P" (fun () -> ignore (Distance.delta [] some));
+  expect_invalid "delta T/[]" (fun () -> ignore (Distance.delta some []));
+  expect_invalid "k_global" (fun () -> ignore (Distance.k_global [] some));
+  expect_invalid "omega" (fun () -> ignore (Distance.omega some []))
+
+let () =
+  Alcotest.run "packed"
+    [
+      ( "primitives",
+        [
+          Alcotest.test_case "pack roundtrip" `Quick test_pack_roundtrip;
+          Alcotest.test_case "popcount" `Quick test_popcount_exhaustive;
+          prop_sat_agrees;
+          prop_min_incl_agrees;
+        ] );
+      ( "enumeration",
+        [
+          prop_enumerate_agrees;
+          prop_sat_enumerator_agrees;
+          prop_equivalent_on_agrees;
+          prop_entails_on_agrees;
+          Alcotest.test_case "beyond the 25-letter cap" `Quick
+            test_enumerate_beyond_legacy_cap;
+        ] );
+      ("operators", List.map op_agrees Model_based.all);
+      ("revise_on", List.map revise_agrees Model_based.all);
+      ( "distance",
+        [
+          prop_distance_agrees;
+          Alcotest.test_case "empty-set contract" `Quick
+            test_distance_empty_contract;
+        ] );
+    ]

@@ -289,6 +289,24 @@ let test_dimacs_parse () =
   Satsolver.Dimacs.load s clauses;
   Helpers.check_bool "sat" true (S.solve s)
 
+(* Regression: the header's declared variable count must survive even
+   when some declared variables appear in no clause, so the CLI's v line
+   can cover them (they read false). *)
+let test_dimacs_header_vars () =
+  let text = "p cnf 5 2\n1 -2 0\n2 3 0\n" in
+  let nvars, clauses = Satsolver.Dimacs.parse_string text in
+  Helpers.check_int "declared nvars kept" 5 nvars;
+  let s = S.create () in
+  S.ensure_nvars s nvars;
+  Satsolver.Dimacs.load s clauses;
+  Helpers.check_bool "sat" true (S.solve s);
+  Helpers.check_int "model padded to declared count" 5
+    (Array.length (S.model s));
+  (* A clause mentioning a variable beyond the header still raises the
+     count. *)
+  let nvars', _ = Satsolver.Dimacs.parse_string "p cnf 2 1\n1 7 0\n" in
+  Helpers.check_int "scan can exceed header" 7 nvars'
+
 let test_dimacs_roundtrip () =
   let st = Random.State.make [| 3 |] in
   for _ = 1 to 50 do
@@ -354,6 +372,8 @@ let () =
       ( "dimacs",
         [
           Alcotest.test_case "parse" `Quick test_dimacs_parse;
+          Alcotest.test_case "header var count" `Quick
+            test_dimacs_header_vars;
           Alcotest.test_case "roundtrip" `Quick test_dimacs_roundtrip;
         ] );
     ]
