@@ -4,7 +4,8 @@
      dune exec bench/main.exe              # run everything
      dune exec bench/main.exe -- SECTION…  # run selected sections
 
-   Sections: examples figure1 explosion table1 table2 postulates compilation timing *)
+   Sections: examples figure1 explosion table1 table2 size_audit postulates
+   compilation timing *)
 
 let sections =
   [
@@ -13,6 +14,7 @@ let sections =
     ("explosion", Explosion.run);
     ("table1", Table1.run);
     ("table2", Table2.run);
+    ("size_audit", Size_audit.run);
     ("postulates", Postulates_bench.run);
     ("compilation", Compilation.run);
     ("timing", Timing.run);

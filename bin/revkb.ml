@@ -6,6 +6,7 @@
      worlds   enumerate W(T, P) — the maximal consistent subsets
      sat      run the bundled CDCL solver on a DIMACS file
      family   generate a witness family instance (Theorems 3.1/3.3/3.6/6.5)
+     analyze  static analysis: sizes, fragments, simplification, SAT routing
 
    Examples:
      revkb revise -o dalal -t 'a & b' -p '~a' --models
@@ -149,7 +150,16 @@ let compact_cmd =
             "Use the bounded-|P| constructions of Section 4 (formulas \
              (5)-(9); logically equivalent, no new letters).")
   in
-  let run theory op p ps bounded =
+  let verify_flag =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Check the construction against the semantic revision \
+             (enumerates models; small alphabets only) and print analyzer \
+             metrics.")
+  in
+  let run theory op p ps bounded verify =
     let t = Theory.conj theory in
     let p = parse_formula p in
     let ps = List.map parse_formula ps in
@@ -181,11 +191,20 @@ let compact_cmd =
     Format.printf "# size %d (input %d)@." (Formula.size formula)
       (Formula.size t + Formula.size p
       + List.fold_left (fun acc q -> acc + Formula.size q) 0 ps);
+    if verify then begin
+      let result =
+        match ps with
+        | [] -> Revision.Operator.revise op theory p
+        | _ -> Revision.Iterate.revise_seq op theory (p :: ps)
+      in
+      Format.printf "%a@." (fun ppf () -> Compact.Verify.report ppf result formula) ()
+    end;
     0
   in
   let term =
     Term.(
-      const run $ theory_args $ op_arg $ p_arg $ ps_arg $ bounded_flag)
+      const run $ theory_args $ op_arg $ p_arg $ ps_arg $ bounded_flag
+      $ verify_flag)
   in
   Cmd.v
     (Cmd.info "compact"
@@ -224,8 +243,8 @@ let sat_cmd =
   let run path =
     let nvars, clauses =
       try Satsolver.Dimacs.parse_file path
-      with Failure msg ->
-        Printf.eprintf "revkb: %s\n" msg;
+      with Satsolver.Dimacs.Parse_error { line; msg } ->
+        Printf.eprintf "revkb: %s:%d: %s\n" path line msg;
         exit 1
     in
     let solver = Satsolver.Solver.create () in
@@ -376,6 +395,54 @@ let check_cmd =
        ~doc:
          "SAT-based model checking M |= T * P (no model enumeration; scales           to large alphabets).")
     Term.(const run $ theory_args $ op_arg $ p_arg $ interp_arg)
+
+(* -- analyze ------------------------------------------------------------------ *)
+
+let analyze_cmd =
+  let file =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"Formula file (formulas separated by ';' or newlines are \
+                read as a theory and analyzed as their conjunction).")
+  in
+  let inline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "f"; "formula" ] ~docv:"FORMULA" ~doc:"Inline formula.")
+  in
+  let run file inline =
+    let src =
+      match (file, inline) with
+      | Some path, None -> read_file path
+      | None, Some s -> s
+      | None, None ->
+          Printf.eprintf "a formula is required: give a FILE or use -f\n";
+          exit 2
+      | Some _, Some _ ->
+          Printf.eprintf "use only one of FILE / -f\n";
+          exit 2
+    in
+    let theory =
+      try Parser.theory_of_string src
+      with Parser.Syntax_error msg ->
+        Printf.eprintf "syntax error: %s\n" msg;
+        exit 2
+    in
+    let f = Theory.conj theory in
+    Format.printf "%a@." Revkb_analysis.Report.pp
+      (Revkb_analysis.Report.analyze f);
+    0
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Static analysis of a formula: size metrics (tree and DAG), \
+          fragment classification, sound simplification, and a \
+          satisfiability verdict via the cheapest applicable procedure.")
+    Term.(const run $ file $ inline)
 
 (* -- repl --------------------------------------------------------------------- *)
 
@@ -545,5 +612,6 @@ let () =
             sat_cmd;
             family_cmd;
             check_cmd;
+            analyze_cmd;
             repl_cmd;
           ]))

@@ -1,0 +1,115 @@
+open Logic
+
+type t = {
+  cnf : bool;
+  horn : bool;
+  dual_horn : bool;
+  krom : bool;
+  affine : bool;
+  monotone : bool;
+  antitone : bool;
+  unate : bool;
+}
+
+(* -- affine (XOR) systems -------------------------------------------------- *)
+
+(* A subformula built from letters, constants, [~], [==], [!=] denotes a
+   GF(2) linear form: the XOR of a letter set plus a constant.  [Iff] is
+   the complemented [Xor]. *)
+let rec linear (f : Formula.t) : (Var.Set.t * bool) option =
+  match f with
+  | True -> Some (Var.Set.empty, true)
+  | False -> Some (Var.Set.empty, false)
+  | Var x -> Some (Var.Set.singleton x, false)
+  | Not g ->
+      Option.map (fun (s, c) -> (s, not c)) (linear g)
+  | Xor (a, b) -> (
+      match (linear a, linear b) with
+      | Some (sa, ca), Some (sb, cb) ->
+          (* letters cancel pairwise: symmetric difference *)
+          Some
+            ( Var.Set.union (Var.Set.diff sa sb) (Var.Set.diff sb sa),
+              ca <> cb )
+      | _ -> None)
+  | Iff (a, b) -> (
+      (* a == b is the complemented xor *)
+      match (linear a, linear b) with
+      | Some (sa, ca), Some (sb, cb) ->
+          Some
+            ( Var.Set.union (Var.Set.diff sa sb) (Var.Set.diff sb sa),
+              not (ca <> cb) )
+      | _ -> None)
+  | And _ | Or _ | Imp _ -> None
+
+let affine_equations (f : Formula.t) =
+  let conjuncts = match f with And gs -> gs | f -> [ f ] in
+  List.fold_left
+    (fun acc g ->
+      match (acc, linear g) with
+      (* the conjunct must be true: XOR of letters = NOT constant *)
+      | Some eqs, Some (s, c) -> Some ((s, not c) :: eqs)
+      | _ -> None)
+    (Some []) conjuncts
+  |> Option.map List.rev
+
+let affine_sat eqs =
+  (* Gaussian elimination over GF(2) on (letter set, target) rows: pick a
+     pivot letter, eliminate it from every other row, repeat.  The system
+     is unsolvable exactly when an empty row demands [true]. *)
+  let rec solve rows =
+    match
+      List.partition (fun (s, _) -> not (Var.Set.is_empty s)) rows
+    with
+    | [], empties -> List.for_all (fun (_, b) -> not b) empties
+    | (s, b) :: rest, empties ->
+        if List.exists (fun (_, b) -> b) empties then false
+        else begin
+          let pivot = Var.Set.choose s in
+          let reduce (s', b') =
+            if Var.Set.mem pivot s' then
+              ( Var.Set.union (Var.Set.diff s s') (Var.Set.diff s' s),
+                b <> b' )
+            else (s', b')
+          in
+          solve (List.map reduce rest)
+        end
+  in
+  solve eqs
+
+(* -- classification -------------------------------------------------------- *)
+
+let classify f =
+  let clauses = Clausal.view f in
+  let on_clauses pred = match clauses with Some c -> pred c | None -> false in
+  {
+    cnf = clauses <> None;
+    horn = on_clauses Clausal.is_horn;
+    dual_horn = on_clauses Clausal.is_dual_horn;
+    krom = on_clauses Clausal.is_krom;
+    affine = affine_equations f <> None;
+    monotone = Polarity.is_monotone f;
+    antitone = Polarity.is_antitone f;
+    unate = Polarity.is_unate f;
+  }
+
+let names t =
+  List.filter_map
+    (fun (b, n) -> if b then Some n else None)
+    [
+      (t.cnf, "cnf");
+      (t.horn, "horn");
+      (t.dual_horn, "dual-horn");
+      (t.krom, "krom");
+      (t.affine, "affine");
+      (t.monotone, "monotone");
+      (t.antitone, "antitone");
+      (t.unate, "unate");
+    ]
+
+let pp ppf t =
+  match names t with
+  | [] -> Format.pp_print_string ppf "(none)"
+  | ns ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+        Format.pp_print_string ppf ns

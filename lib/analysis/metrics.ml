@@ -1,0 +1,99 @@
+open Logic
+
+type connective_counts = {
+  ands : int;
+  ors : int;
+  nots : int;
+  imps : int;
+  iffs : int;
+  xors : int;
+}
+
+type t = {
+  tree_size : int;
+  node_count : int;
+  dag_size : int;
+  depth : int;
+  letters : int;
+  connectives : connective_counts;
+}
+
+let rec depth (f : Formula.t) =
+  match f with
+  | True | False | Var _ -> 0
+  | Not g -> 1 + depth g
+  | And gs | Or gs -> 1 + List.fold_left (fun acc g -> max acc (depth g)) 0 gs
+  | Imp (a, b) | Iff (a, b) | Xor (a, b) -> 1 + max (depth a) (depth b)
+
+let connectives f =
+  let c = ref { ands = 0; ors = 0; nots = 0; imps = 0; iffs = 0; xors = 0 } in
+  let rec go (f : Formula.t) =
+    match f with
+    | True | False | Var _ -> ()
+    | Not g ->
+        c := { !c with nots = !c.nots + 1 };
+        go g
+    | And gs ->
+        c := { !c with ands = !c.ands + 1 };
+        List.iter go gs
+    | Or gs ->
+        c := { !c with ors = !c.ors + 1 };
+        List.iter go gs
+    | Imp (a, b) ->
+        c := { !c with imps = !c.imps + 1 };
+        go a;
+        go b
+    | Iff (a, b) ->
+        c := { !c with iffs = !c.iffs + 1 };
+        go a;
+        go b
+    | Xor (a, b) ->
+        c := { !c with xors = !c.xors + 1 };
+        go a;
+        go b
+  in
+  go f;
+  !c
+
+(* Hash-consing pass: visit each structurally distinct subterm once.
+   Structural equality on [Formula.t] is exactly term identity after the
+   smart constructors, so a [Hashtbl] keyed on the term is the whole
+   cons table; the count of entries is the DAG size. *)
+let dag_size f =
+  let seen : (Formula.t, unit) Hashtbl.t = Hashtbl.create 256 in
+  let rec go (f : Formula.t) =
+    if not (Hashtbl.mem seen f) then begin
+      Hashtbl.add seen f ();
+      match f with
+      | True | False | Var _ -> ()
+      | Not g -> go g
+      | And gs | Or gs -> List.iter go gs
+      | Imp (a, b) | Iff (a, b) | Xor (a, b) ->
+          go a;
+          go b
+    end
+  in
+  go f;
+  Hashtbl.length seen
+
+let of_formula f =
+  {
+    tree_size = Formula.size f;
+    node_count = Formula.node_count f;
+    dag_size = dag_size f;
+    depth = depth f;
+    letters = Var.Set.cardinal (Formula.vars f);
+    connectives = connectives f;
+  }
+
+let sharing t = float_of_int t.node_count /. float_of_int (max 1 t.dag_size)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>tree size: %d (variable occurrences)@,\
+     nodes: %d tree, %d dag (sharing %.2fx)@,\
+     depth: %d, letters: %d@,\
+     connectives: and %d, or %d, not %d, imp %d, iff %d, xor %d@]"
+    t.tree_size t.node_count t.dag_size (sharing t) t.depth t.letters
+    t.connectives.ands t.connectives.ors t.connectives.nots t.connectives.imps
+    t.connectives.iffs t.connectives.xors

@@ -1,0 +1,44 @@
+(** Structural size metrics, including the DAG size.
+
+    The paper's size claims (|T'| in Theorems 3.4/3.5/4.5/4.6/5.1) are
+    about formulas as written, but several constructions repeat whole
+    subformulas — the renamed theory of an iterated step, the [EXA]
+    counters — so the honest machine measure is the number of {e distinct}
+    subterms: the size of the formula read as a DAG with shared subterms,
+    computed here by a hash-consing pass.  [tree] metrics count every
+    occurrence; [dag_size] counts each structurally distinct subterm
+    once.  A construction is only honestly polynomial when its {e tree}
+    size is — DAG size bounds what any pointer-sharing representation
+    could claim. *)
+
+open Logic
+
+type connective_counts = {
+  ands : int;
+  ors : int;
+  nots : int;
+  imps : int;
+  iffs : int;
+  xors : int;
+}
+
+type t = {
+  tree_size : int;  (** {!Formula.size}: variable occurrences, the paper's [|W|]. *)
+  node_count : int;  (** AST nodes, every occurrence counted. *)
+  dag_size : int;  (** Distinct subterms (hash-consing pass). *)
+  depth : int;  (** Maximum nesting depth; constants and letters are 0. *)
+  letters : int;  (** Distinct variables. *)
+  connectives : connective_counts;
+}
+
+val of_formula : Formula.t -> t
+
+val dag_size : Formula.t -> int
+(** Just the shared-subterm count, without the rest of the record. *)
+
+val sharing : t -> float
+(** [node_count /. dag_size]: 1.0 means no sharing; large values mean
+    the tree representation repeats subterms heavily. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable rendering (used by [revkb analyze]). *)

@@ -1,0 +1,45 @@
+open Logic
+
+type t = {
+  formula : Formula.t;
+  metrics : Metrics.t;
+  fragment : Fragments.t;
+  simplified : Formula.t;
+  sat : bool;
+  sat_method : string;
+}
+
+let decide_sat f =
+  match Clausal.decide_sat f with
+  | Some (b, Clausal.Horn) -> (b, "horn unit propagation")
+  | Some (b, Clausal.Dual_horn) -> (b, "dual-horn unit propagation")
+  | Some (b, Clausal.Krom) -> (b, "2-sat scc")
+  | None -> (
+      match Fragments.affine_equations f with
+      | Some eqs -> (Fragments.affine_sat eqs, "gf(2) elimination")
+      | None ->
+          if Polarity.is_monotone f then
+            (* monotone: satisfiable iff the all-true endpoint satisfies *)
+            (Formula.eval (fun _ -> true) f, "monotone endpoint")
+          else if Polarity.is_antitone f then
+            (Formula.eval (fun _ -> false) f, "antitone endpoint")
+          else (Semantics.is_sat_cdcl f, "cdcl"))
+
+let analyze f =
+  let sat, sat_method = decide_sat f in
+  {
+    formula = f;
+    metrics = Metrics.of_formula f;
+    fragment = Fragments.classify f;
+    simplified = Simplifier.simplify f;
+    sat;
+    sat_method;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@,fragments: %a@,simplified size: %d (from %d)@,sat: %s (%s)@]"
+    Metrics.pp t.metrics Fragments.pp t.fragment
+    (Formula.size t.simplified)
+    t.metrics.Metrics.tree_size
+    (if t.sat then "yes" else "no")
+    t.sat_method

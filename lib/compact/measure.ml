@@ -27,12 +27,28 @@ let realizable_diffs t p =
     (fun s -> Semantics.is_sat (Formula.and_ [ t_y; p; diff_exactly s ]))
     (Interp.subsets vp)
 
-let delta t p = Interp.min_incl (realizable_diffs t p)
+exception No_realizable_diff
 
-let k_min t p =
-  List.fold_left
-    (fun acc s -> min acc (Var.Set.cardinal s))
-    max_int (realizable_diffs t p)
+type measures = {
+  diffs : Var.Set.t list;
+  delta : Var.Set.t list;
+  k_min : int;
+  omega : Var.Set.t;
+}
 
-let omega t p =
-  List.fold_left Var.Set.union Var.Set.empty (delta t p)
+let of_diffs diffs =
+  if diffs = [] then raise No_realizable_diff;
+  let delta = Interp.min_incl diffs in
+  {
+    diffs;
+    delta;
+    k_min =
+      List.fold_left (fun acc s -> min acc (Var.Set.cardinal s)) max_int diffs;
+    omega = List.fold_left Var.Set.union Var.Set.empty delta;
+  }
+
+let compute t p = of_diffs (realizable_diffs t p)
+
+let delta t p = (compute t p).delta
+let k_min t p = (compute t p).k_min
+let omega t p = (compute t p).omega

@@ -8,9 +8,40 @@
     {e realizable} as exact differences — decidable with one SAT call per
     subset on [T[X/Y] ∧ P ∧ (X Δ Y = S)].  The cost is [2^{|V(P)|}] solver
     calls: polynomial in [|T|] for bounded [P], exponential in the general
-    case, exactly the asymmetry Table 1 turns on. *)
+    case, exactly the asymmetry Table 1 turns on.
+
+    The sweep is the expensive part, so it is shared: {!compute} runs it
+    once and derives all three measures; the per-measure functions are
+    wrappers for callers needing just one.  A caller that needs two or
+    more measures of the same [(T, P)] pair should call {!compute} (or
+    {!of_diffs} on a sweep it already holds) — three separate wrapper
+    calls pay for three identical sweeps. *)
 
 open Logic
+
+exception No_realizable_diff
+(** No subset of [V(P)] is realizable as an exact difference — the
+    models of [T] and [P] disagree outside [V(P)] however they are
+    chosen.  (Unreachable for satisfiable [T], [P] by Proposition 2.1;
+    raised rather than silently yielding [max_int]/empty measures so a
+    regression in the sweep can never masquerade as an answer.) *)
+
+type measures = {
+  diffs : Var.Set.t list;  (** every realizable [S ⊆ V(P)] *)
+  delta : Var.Set.t list;  (** [δ(T, P)]: the inclusion-minimal ones *)
+  k_min : int;  (** [k_{T,P}]: minimum cardinality over [diffs] *)
+  omega : Var.Set.t;  (** [Ω = ∪ δ(T, P)] *)
+}
+
+val compute : Formula.t -> Formula.t -> measures
+(** One realizability sweep, all measures.  Both formulas must be
+    satisfiable; raises [Invalid_argument] otherwise or when
+    [|V(P)| > 16], and {!No_realizable_diff} on an empty sweep. *)
+
+val of_diffs : Var.Set.t list -> measures
+(** Derive the measures from an already-computed sweep (must be the
+    full list of realizable differences, not just [δ]).  Raises
+    {!No_realizable_diff} on the empty list. *)
 
 val realizable_diffs : Formula.t -> Formula.t -> Var.Set.t list
 (** All [S ⊆ V(P)] such that some model of [T] and some model of [P]

@@ -36,3 +36,11 @@ let query_equivalent result f =
   same_model_sets_on alphabet
     (Semantics.models_sat alphabet f)
     (Revision.Result.models result)
+
+let report ppf result f =
+  let m = Revkb_analysis.Metrics.of_formula f in
+  let frag = Revkb_analysis.Fragments.classify f in
+  Format.fprintf ppf "@[<v>%a@,fragments: %a@,logically equivalent: %b@,query equivalent: %b@]"
+    Revkb_analysis.Metrics.pp m Revkb_analysis.Fragments.pp frag
+    (logically_equivalent result f)
+    (query_equivalent result f)

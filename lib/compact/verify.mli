@@ -17,3 +17,9 @@ val query_equivalent : Revision.Result.t -> Formula.t -> bool
 (** Projection of the formula's models onto the result's alphabet equals
     the result's model set (SAT-based enumeration with blocking
     clauses). *)
+
+val report : Format.formatter -> Revision.Result.t -> Formula.t -> unit
+(** Analyzer metrics for a compact candidate next to its equivalence
+    verdicts: size block ({!Revkb_analysis.Metrics}), fragment labels,
+    then [logically equivalent] / [query equivalent] against the
+    semantic revision.  Drives [revkb compact --verify]. *)

@@ -36,14 +36,20 @@ let is_ident_start c =
 let is_ident_char c =
   is_ident_start c || (c >= '0' && c <= '9') || c = '\''
 
+let error offset fmt =
+  Printf.ksprintf
+    (fun msg -> raise (Syntax_error (Printf.sprintf "at offset %d: %s" offset msg)))
+    fmt
+
 (* [keep_newlines] turns newlines into [;] so theories can be written one
-   formula per line. *)
+   formula per line.  Every token carries the offset of its first
+   character so parse errors can point back into the source. *)
 let tokenize ~keep_newlines src =
   let n = String.length src in
   let toks = ref [] in
-  let emit t = toks := t :: !toks in
   let i = ref 0 in
-  let fail msg = raise (Syntax_error (Printf.sprintf "at offset %d: %s" !i msg)) in
+  let emit_at off t = toks := (t, off) :: !toks in
+  let emit t = emit_at !i t in
   while !i < n do
     let c = src.[!i] in
     if c = '#' then begin
@@ -59,6 +65,7 @@ let tokenize ~keep_newlines src =
       let start = !i in
       while !i < n && is_ident_char src.[!i] do incr i done;
       let word = String.sub src start (!i - start) in
+      let emit = emit_at start in
       match word with
       | "true" | "T" -> emit TTrue
       | "false" | "F" -> emit TFalse
@@ -91,15 +98,16 @@ let tokenize ~keep_newlines src =
           | ')' -> emit TRparen; incr i
           | ';' -> emit TSemi; incr i
           | '^' -> emit TXor; incr i
-          | _ -> fail (Printf.sprintf "unexpected character %C" c))
+          | _ -> error !i "unexpected character %C" c)
     end
   done;
-  emit TEof;
+  emit_at n TEof;
   List.rev !toks
 
-type state = { mutable toks : token list }
+type state = { mutable toks : (token * int) list }
 
-let peek st = match st.toks with [] -> TEof | t :: _ -> t
+let peek st = match st.toks with [] -> TEof | (t, _) :: _ -> t
+let offset st = match st.toks with [] -> 0 | (_, off) :: _ -> off
 
 let advance st =
   match st.toks with [] -> () | _ :: rest -> st.toks <- rest
@@ -107,10 +115,8 @@ let advance st =
 let expect st t =
   if peek st = t then advance st
   else
-    raise
-      (Syntax_error
-         (Printf.sprintf "expected %s but found %s" (pp_token t)
-            (pp_token (peek st))))
+    error (offset st) "expected %s but found %s" (pp_token t)
+      (pp_token (peek st))
 
 let rec parse_formula st = parse_iff st
 
@@ -181,7 +187,7 @@ and parse_atom st =
       let f = parse_formula st in
       expect st TRparen;
       f
-  | t -> raise (Syntax_error (Printf.sprintf "unexpected %s" (pp_token t)))
+  | t -> error (offset st) "unexpected %s" (pp_token t)
 
 let formula_of_string s =
   let st = { toks = tokenize ~keep_newlines:false s } in
@@ -201,11 +207,7 @@ let theory_of_string s =
         let f = parse_formula st in
         (match peek st with
         | TSemi | TEof -> ()
-        | t ->
-            raise
-              (Syntax_error
-                 (Printf.sprintf "expected ; or end of input, found %s"
-                    (pp_token t))));
+        | t -> error (offset st) "expected ; or end of input, found %s" (pp_token t));
         go (f :: acc)
   in
   go []

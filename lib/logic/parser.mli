@@ -16,7 +16,9 @@
     knowledge base as a finite set of formulas. *)
 
 exception Syntax_error of string
-(** Raised with a position-annotated message on malformed input. *)
+(** Raised on malformed input.  Every message — from the tokenizer and
+    from the parser proper — starts with ["at offset N: ..."] where [N]
+    is the 0-based character offset of the offending token. *)
 
 val formula_of_string : string -> Formula.t
 val theory_of_string : string -> Formula.t list

@@ -155,10 +155,21 @@ let masks_sat ?(cap = 1_000_000) alpha f =
   in
   go [] 0
 
-let is_sat f =
+let is_sat_cdcl f =
   let env = create () in
   assert_formula env f;
   solve env
+
+(* Fast path: formulas that are syntactically Horn / dual-Horn / Krom
+   CNF are decided by the linear-time routines in {!Clausal} before a
+   solver is ever created.  The structural check costs one traversal and
+   fails over to CDCL on any other shape. *)
+let is_sat f =
+  match Clausal.decide_sat f with
+  | Some (answer, route) ->
+      Clausal.record_hit route;
+      answer
+  | None -> is_sat_cdcl f
 
 let is_valid f = not (is_sat (Formula.not_ f))
 let entails a b = not (is_sat (Formula.conj2 a (Formula.not_ b)))

@@ -34,6 +34,14 @@ val block : env -> Var.t list -> Interp.t -> unit
 (** {1 One-shot queries} *)
 
 val is_sat : Formula.t -> bool
+(** Satisfiability.  Syntactic Horn / dual-Horn / Krom CNFs are settled
+    by the linear-time deciders of {!Clausal} (observable via
+    {!Clausal.stats}); everything else goes to the CDCL solver. *)
+
+val is_sat_cdcl : Formula.t -> bool
+(** {!is_sat} without the clausal fast path: always Tseitin-encode and
+    solve.  The differential oracle for the fast path's tests. *)
+
 val is_valid : Formula.t -> bool
 val entails : Formula.t -> Formula.t -> bool
 val equiv : Formula.t -> Formula.t -> bool

@@ -1,11 +1,16 @@
+exception Parse_error of { line : int; msg : string }
+
 let parse_string s =
   let nvars = ref 0 in
   let clauses = ref [] in
   let current = ref [] in
   let lines = String.split_on_char '\n' s in
-  let handle_tok tok =
+  let fail lineno fmt =
+    Printf.ksprintf (fun msg -> raise (Parse_error { line = lineno; msg })) fmt
+  in
+  let handle_tok lineno tok =
     match int_of_string_opt tok with
-    | None -> failwith (Printf.sprintf "dimacs: bad token %S" tok)
+    | None -> fail lineno "bad token %S" tok
     | Some 0 ->
         clauses := List.rev !current :: !clauses;
         current := []
@@ -14,8 +19,9 @@ let parse_string s =
         if v > !nvars then nvars := v;
         current := Lit.of_int i :: !current
   in
-  List.iter
-    (fun line ->
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
       let line = String.trim line in
       if line = "" then ()
       else
@@ -31,14 +37,12 @@ let parse_string s =
             | [ "p"; "cnf"; nv; _ ] -> (
                 match int_of_string_opt nv with
                 | Some n when n >= 0 -> if n > !nvars then nvars := n
-                | _ ->
-                    failwith
-                      (Printf.sprintf "dimacs: bad header %S" line))
-            | _ -> failwith (Printf.sprintf "dimacs: bad header %S" line))
+                | _ -> fail lineno "bad header %S" line)
+            | _ -> fail lineno "bad header %S" line)
         | _ ->
             String.split_on_char ' ' line
             |> List.filter (fun t -> t <> "")
-            |> List.iter handle_tok)
+            |> List.iter (handle_tok lineno))
     lines;
   if !current <> [] then clauses := List.rev !current :: !clauses;
   (!nvars, List.rev !clauses)

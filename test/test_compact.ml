@@ -40,10 +40,11 @@ let prop_measure_matches_extensional =
     (fun (t, p) ->
       let tm = Models.enumerate vars4 t and pm = Models.enumerate vars4 p in
       let d_ext = Distance.delta tm pm in
-      let d_sat = Compact.Measure.delta t p in
-      same_models d_ext d_sat
-      && Compact.Measure.k_min t p = Distance.k_global tm pm
-      && Var.Set.equal (Compact.Measure.omega t p) (Distance.omega tm pm))
+      (* one sweep, all three measures *)
+      let m = Compact.Measure.compute t p in
+      same_models d_ext m.Compact.Measure.delta
+      && m.Compact.Measure.k_min = Distance.k_global tm pm
+      && Var.Set.equal m.Compact.Measure.omega (Distance.omega tm pm))
 
 let test_measure_guards () =
   (match Compact.Measure.delta (f "a & ~a") (f "b") with
@@ -365,6 +366,23 @@ let test_check_scales () =
            (Var.Set.remove (List.nth letters 5) all_but_first_two)))
     Model_based.all
 
+(* Horn inputs must reach the linear fast path inside the checker's
+   satisfiability probes: the counters in [Logic.Clausal] make the
+   routing observable. *)
+let test_check_horn_fast_path () =
+  let t = f "(a -> b) & (b -> c) & a" in
+  let p = f "~c" in
+  Logic.Clausal.reset_stats ();
+  check_bool "M |= T * P after giving up only c" true
+    (Compact.Check.model_check Model_based.Weber t p
+       (interp_of_string "a, b"));
+  let hits = Logic.Clausal.fast_path_hits () in
+  check_bool
+    (Printf.sprintf "fast path hit at least twice (got %d)" hits)
+    true (hits >= 2);
+  check_bool "hits were horn hits" true
+    ((Logic.Clausal.stats ()).Logic.Clausal.horn >= 2)
+
 let test_check_dist_to () =
   let alphabet = letters 3 in
   check_bool "distance 0" true
@@ -567,6 +585,8 @@ let () =
             Alcotest.test_case "scales past enumeration" `Quick
               test_check_scales;
             Alcotest.test_case "dist_to" `Quick test_check_dist_to;
+            Alcotest.test_case "horn fast path hit" `Quick
+              test_check_horn_fast_path;
           ] );
       ( "session",
         [

@@ -154,6 +154,34 @@ let test_parser_errors () =
           Alcotest.failf "expected syntax error on %S, got %a" s Formula.pp g)
     [ "a &"; "(a"; "a b"; "&"; ""; "a @ b" ]
 
+(* Every syntax error — lexical or grammatical — must pinpoint the
+   offending token by character offset. *)
+let test_parser_error_offsets () =
+  let expect_msg src part =
+    match Parser.formula_of_string src with
+    | exception Parser.Syntax_error msg ->
+        check_bool
+          (Printf.sprintf "%S: %S mentions %S" src msg part)
+          true
+          (Helpers.contains_substring msg part)
+    | g -> Alcotest.failf "expected syntax error on %S, got %a" src Formula.pp g
+  in
+  expect_msg "a @ b" "at offset 2";
+  expect_msg "a @ b" "unexpected character '@'";
+  expect_msg "ab & cd | )" "at offset 10";
+  expect_msg "ab & cd | )" "unexpected )";
+  expect_msg "(a & b" "at offset 6";
+  expect_msg "(a & b" "expected ) but found <eof>";
+  expect_msg "a &" "at offset 3";
+  expect_msg "longname -> ->" "at offset 12";
+  match Parser.theory_of_string "a & b\nc d" with
+  | exception Parser.Syntax_error msg ->
+      check_bool
+        (Printf.sprintf "theory: %S points at second line" msg)
+        true
+        (Helpers.contains_substring msg "at offset 8")
+  | _ -> Alcotest.fail "expected syntax error in theory"
+
 let test_theory_parsing () =
   let t = Parser.theory_of_string "a & b\n# comment\nc -> d; e" in
   check_int "three members" 3 (List.length t);
@@ -264,6 +292,7 @@ let () =
           Alcotest.test_case "alternative syntax" `Quick
             test_parser_alternative_syntax;
           Alcotest.test_case "errors" `Quick test_parser_errors;
+          Alcotest.test_case "error offsets" `Quick test_parser_error_offsets;
           Alcotest.test_case "theories" `Quick test_theory_parsing;
         ] );
       ( "theory",

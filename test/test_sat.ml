@@ -307,6 +307,25 @@ let test_dimacs_header_vars () =
   let nvars', _ = Satsolver.Dimacs.parse_string "p cnf 2 1\n1 7 0\n" in
   Helpers.check_int "scan can exceed header" 7 nvars'
 
+(* Malformed input must raise [Parse_error] with the 1-based line number
+   of the offending line — the clean-error contract behind `revkb sat`. *)
+let test_dimacs_parse_errors () =
+  let expect_error name text line msg_part =
+    match Satsolver.Dimacs.parse_string text with
+    | exception Satsolver.Dimacs.Parse_error { line = l; msg } ->
+        Helpers.check_int (name ^ ": line") line l;
+        Helpers.check_bool
+          (Printf.sprintf "%s: message %S mentions %S" name msg msg_part)
+          true
+          (Helpers.contains_substring msg msg_part)
+    | _ -> Alcotest.failf "%s: expected Parse_error" name
+  in
+  expect_error "bad token" "p cnf 2 1\n1 x 0\n" 2 "bad token";
+  expect_error "bad header arity" "p cnf 2\n1 0\n" 1 "bad header";
+  expect_error "negative header count" "p cnf -3 1\n1 0\n" 1 "bad header";
+  expect_error "token after comments" "c hi\nc there\np cnf 1 1\n\n1 0\nbad 0\n"
+    6 "bad token"
+
 let test_dimacs_roundtrip () =
   let st = Random.State.make [| 3 |] in
   for _ = 1 to 50 do
@@ -375,5 +394,7 @@ let () =
           Alcotest.test_case "header var count" `Quick
             test_dimacs_header_vars;
           Alcotest.test_case "roundtrip" `Quick test_dimacs_roundtrip;
+          Alcotest.test_case "parse errors carry line numbers" `Quick
+            test_dimacs_parse_errors;
         ] );
     ]
