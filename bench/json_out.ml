@@ -1,0 +1,49 @@
+(* Machine-readable artifact for the speedup benches.  Sections push
+   {bench, n, jobs, wall_ms, speedup} rows as they measure; [write]
+   dumps everything accumulated so far to BENCH_parallel.json (path
+   overridable via REVKB_BENCH_JSON), so whichever section runs last
+   leaves the complete file behind.  Hand-rolled JSON: the repo has no
+   JSON dependency and the schema is four scalars. *)
+
+type row = {
+  bench : string;
+  n : int;
+  jobs : int;
+  wall_ms : float;
+  speedup : float;
+}
+
+let rows : row list ref = ref []
+
+let add ~bench ~n ~jobs ~wall_ms ~speedup =
+  rows := { bench; n; jobs; wall_ms; speedup } :: !rows
+
+let path () =
+  Option.value (Sys.getenv_opt "REVKB_BENCH_JSON") ~default:"BENCH_parallel.json"
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write () =
+  let file = path () in
+  let oc = open_out file in
+  let all = List.rev !rows in
+  output_string oc "[\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "  {\"bench\": \"%s\", \"n\": %d, \"jobs\": %d, \"wall_ms\": %.3f, \
+         \"speedup\": %.2f}%s\n"
+        (escape r.bench) r.n r.jobs r.wall_ms r.speedup
+        (if i = List.length all - 1 then "" else ","))
+    all;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "  [%d rows -> %s]\n" (List.length all) file

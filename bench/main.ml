@@ -5,7 +5,7 @@
      dune exec bench/main.exe -- SECTION…  # run selected sections
 
    Sections: examples figure1 explosion table1 table2 size_audit postulates
-   compilation timing *)
+   compilation timing parallel *)
 
 let sections =
   [
@@ -18,6 +18,7 @@ let sections =
     ("postulates", Postulates_bench.run);
     ("compilation", Compilation.run);
     ("timing", Timing.run);
+    ("parallel", Parallel_bench.run);
   ]
 
 let () =

@@ -1,0 +1,154 @@
+(* Parallel speedup sweep: the three pool-wired layers (enumeration
+   sweep, streaming distance reductions, revision fan-out) timed at
+   jobs=1 vs jobs=N on identical inputs.  Every parallel result is
+   asserted bit-identical to the sequential one before its timing is
+   reported — a speedup row for a wrong answer would be worthless.
+
+   Wall-clock speedup tracks physical core count: on a single-core
+   container jobs=N only adds scheduling overhead, so ratios near (or
+   below) 1.0x there are the honest expectation, not a bug.  The
+   delta rows also time a replica of the pre-streaming pipeline that
+   materializes the |Mod(T)|*|Mod(P)| difference array, recording what
+   the Frontier rewrite bought independently of core count. *)
+
+open Logic
+module Pool = Revkb_parallel.Pool
+module MB = Revision.Model_based
+
+let jobs_hi =
+  match Option.bind (Sys.getenv_opt "REVKB_JOBS") int_of_string_opt with
+  | Some j when j > 1 -> j
+  | _ -> 4
+
+(* Best of [reps] runs: the pool keeps its domains between runs, so
+   repeats measure steady-state rather than domain-spawn cost. *)
+let time ?(reps = 3) f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+    if ms < !best then best := ms;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+let ms f = Printf.sprintf "%.2f ms" f
+
+(* One jobs=1 vs jobs=N comparison: run sequentially, run parallel,
+   check the outputs agree, push both rows to the JSON artifact and
+   return a printable table row. *)
+let compare_jobs ~bench ~n ~equal f =
+  let seq, seq_ms = Pool.with_jobs 1 (fun () -> time f) in
+  let par, par_ms = Pool.with_jobs jobs_hi (fun () -> time f) in
+  if not (equal seq par) then
+    failwith (Printf.sprintf "parallel mismatch in %s (n=%d)" bench n);
+  let speedup = seq_ms /. par_ms in
+  Json_out.add ~bench ~n ~jobs:1 ~wall_ms:seq_ms ~speedup:1.0;
+  Json_out.add ~bench ~n ~jobs:jobs_hi ~wall_ms:par_ms ~speedup;
+  [
+    bench;
+    string_of_int n;
+    ms seq_ms;
+    ms par_ms;
+    Printf.sprintf "%.2fx" speedup;
+    "ok";
+  ]
+
+(* -- enumeration: 2^n truth-table sweep over a random sat 3-CNF -- *)
+
+let enum_instance n =
+  let st = Data.fresh_state () in
+  let vars = Gen.letters n in
+  let rec sat_cnf () =
+    let f = Gen.cnf3 st ~vars ~nclauses:(2 * n) in
+    if Semantics.is_sat f then f else sat_cnf ()
+  in
+  (Interp_packed.alphabet vars, sat_cnf ())
+
+let enum_rows () =
+  List.map
+    (fun n ->
+      let alpha, f = enum_instance n in
+      compare_jobs ~bench:"enumerate-sweep" ~n ~equal:Interp_packed.equal_set
+        (fun () -> Models.enumerate_packed alpha f))
+    [ 14; 16; 18 ]
+
+(* -- distance: streaming delta/k_global on large synthetic model sets -- *)
+
+(* Deterministic pseudo-random masks over 20 letters; normalize sorts
+   and dedups.  1024 x 1024 puts |Mod(T)|*|Mod(P)| at ~10^6 — past the
+   point where materializing the difference array hurts. *)
+let mask_set ~seed count =
+  Interp_packed.normalize
+    (Array.init count (fun i -> (i + seed) * 7919 land 0xFFFFF))
+
+(* The pre-streaming pipeline, kept as a measurable baseline: min_incl
+   per row of differences, then one min_incl over the concatenation of
+   every row — the nt*np intermediate the Frontier rewrite removed. *)
+let delta_materialized t_models p_models =
+  let rows =
+    Array.map
+      (fun m ->
+        Interp_packed.min_incl (Array.map (fun q -> m lxor q) p_models))
+      t_models
+  in
+  Interp_packed.min_incl (Array.concat (Array.to_list rows))
+
+let distance_rows () =
+  let t_models = mask_set ~seed:1 1024 in
+  let p_models = mask_set ~seed:577 1024 in
+  let delta_row =
+    compare_jobs ~bench:"delta-streaming" ~n:20 ~equal:Interp_packed.equal_set
+      (fun () -> Revision.Distance.Packed.delta t_models p_models)
+  in
+  let k_row =
+    compare_jobs ~bench:"k_global-streaming" ~n:20 ~equal:Int.equal (fun () ->
+        Revision.Distance.Packed.k_global t_models p_models)
+  in
+  let mat, mat_ms =
+    time (fun () -> delta_materialized t_models p_models)
+  in
+  let streaming = Revision.Distance.Packed.delta t_models p_models in
+  if not (Interp_packed.equal_set mat streaming) then
+    failwith "materialized delta disagrees with streaming delta";
+  Json_out.add ~bench:"delta-materialized" ~n:20 ~jobs:1 ~wall_ms:mat_ms
+    ~speedup:1.0;
+  let mat_row =
+    [ "delta-materialized (old)"; "20"; ms mat_ms; "-"; "-"; "ok" ]
+  in
+  [ delta_row; k_row; mat_row ]
+
+(* -- revision fan-out: independent instances across the pool -- *)
+
+let revise_rows () =
+  let st = Data.fresh_state () in
+  let instances = List.init 8 (fun _ -> Data.random_tp st 12) in
+  let sweep () =
+    let pool = Pool.global () in
+    Pool.map_list pool
+      (fun (vars, t, p) -> MB.revise_on MB.Dalal vars t p)
+      instances
+  in
+  [
+    compare_jobs ~bench:"revise-fanout-dalal" ~n:12
+      ~equal:(List.equal Revision.Result.equal)
+      sweep;
+  ]
+
+let run () =
+  Report.section "Parallel speedup (Domain pool, jobs=1 vs jobs=N)";
+  Report.para
+    (Printf.sprintf
+       "  jobs=%d vs sequential on identical inputs; outputs asserted \
+        bit-identical.\n\
+       \  recommended_domain_count on this machine: %d (speedup needs real \
+        cores)."
+       jobs_hi
+       (Domain.recommended_domain_count ()));
+  let rows = enum_rows () @ distance_rows () @ revise_rows () in
+  Report.table
+    [ "bench"; "n"; "jobs=1"; Printf.sprintf "jobs=%d" jobs_hi; "speedup"; "match" ]
+    rows;
+  Json_out.write ()

@@ -47,10 +47,16 @@ let size_row param f =
       Printf.sprintf "%.2f" (Metrics.sharing m);
     ] )
 
+(* The constructions along a sweep are independent of each other, so the
+   build+measure work fans across the pool; row order (and therefore the
+   growth fit) is the parameter order regardless of job count. *)
 let sweep title expected header params build =
   Report.subsection title;
   flush stdout;
-  let measured = List.map (fun n -> size_row n (build n)) params in
+  let pool = Revkb_parallel.Pool.global () in
+  let measured =
+    Revkb_parallel.Pool.map_list pool (fun n -> size_row n (build n)) params
+  in
   Report.table [ header; "tree"; "dag"; "sharing" ] (List.map snd measured);
   audit expected (List.map fst measured)
 
@@ -122,8 +128,9 @@ let iterated_weber () =
 let explicit_family title params make naive_size world_count =
   Report.subsection title;
   flush stdout;
+  let pool = Revkb_parallel.Pool.global () in
   let measured =
-    List.map
+    Revkb_parallel.Pool.map_list pool
       (fun m ->
         let ex = make m in
         let size = naive_size ex in

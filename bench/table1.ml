@@ -59,7 +59,11 @@ let dalal_sweep () =
     let f = Gen.cnf3 st ~vars ~nclauses in
     if Semantics.is_sat f then f else sat_cnf vars nclauses
   in
-  let rows =
+  (* Instances are drawn sequentially (the RNG state is shared), then the
+     Theorem 3.4 constructions — the expensive part, a distance probe per
+     candidate k — are measured across the pool.  Row contents are sizes
+     and counts, which do not depend on variable-creation order. *)
+  let instances =
     List.map
       (fun n ->
         let vars = Gen.letters n in
@@ -75,18 +79,29 @@ let dalal_sweep () =
             (List.filteri (fun i _ -> i < n / 2) vars
             |> List.map (fun v -> Formula.not_ (Formula.var v)))
         in
+        (n, t, p))
+      [ 4; 6; 8; 10; 12; 14; 16 ]
+  in
+  let pool = Revkb_parallel.Pool.global () in
+  let rows =
+    Revkb_parallel.Pool.map_list pool
+      (fun (n, t, p) ->
         let info = Compact.Dalal_compact.revise_info t p in
         let input = Formula.size t + Formula.size p in
-        params := input :: !params;
-        values := Formula.size info.Compact.Dalal_compact.formula :: !values;
-        [
-          string_of_int n;
-          string_of_int input;
-          string_of_int info.Compact.Dalal_compact.k;
-          string_of_int (Formula.size info.Compact.Dalal_compact.formula);
-          string_of_int (List.length info.Compact.Dalal_compact.aux);
-        ])
-      [ 4; 6; 8; 10; 12; 14; 16 ]
+        ( input,
+          Formula.size info.Compact.Dalal_compact.formula,
+          [
+            string_of_int n;
+            string_of_int input;
+            string_of_int info.Compact.Dalal_compact.k;
+            string_of_int (Formula.size info.Compact.Dalal_compact.formula);
+            string_of_int (List.length info.Compact.Dalal_compact.aux);
+          ] ))
+      instances
+    |> List.map (fun (input, value, row) ->
+           params := input :: !params;
+           values := value :: !values;
+           row)
   in
   Report.table
     [ "alphabet n"; "|T|+|P|"; "k_{T,P}"; "|T'| (Thm 3.4)"; "new letters" ]
@@ -168,67 +183,81 @@ let reductions () =
   Report.subsection
     "[NO cells]  machine-checked reductions on sampled 3-SAT instances";
   let st = Data.fresh_state () in
-  let count_ok n check =
-    let ok = ref 0 in
-    for _ = 1 to n do
-      if check () then incr ok
-    done;
-    Printf.sprintf "%d/%d" !ok n
+  (* Instance generation ([gen]) touches the shared RNG state and the
+     variable intern table, so it stays sequential; the reduction checks
+     themselves ([check]) each own their solvers and fan across the
+     pool.  [gen] draws all [n] instances before any check runs, keeping
+     the RNG stream — hence the sampled instances — identical to the
+     sequential version at every job count. *)
+  let count_ok n gen check =
+    let inputs = List.init n (fun _ -> gen ()) in
+    let pool = Revkb_parallel.Pool.global () in
+    let oks = Revkb_parallel.Pool.map_list pool check inputs in
+    Printf.sprintf "%d/%d" (List.length (List.filter Fun.id oks)) n
   in
-  let thm31 () =
-    let u = Data.random_sub_universe st () in
-    let fam = Witness.Gfuv_family.make u in
-    Witness.Gfuv_family.reduction_holds fam (Data.random_pi st u)
+  let thm31 =
+    ( (fun () ->
+        let u = Data.random_sub_universe st () in
+        (Witness.Gfuv_family.make u, Data.random_pi st u)),
+      fun (fam, pi) -> Witness.Gfuv_family.reduction_holds fam pi )
   in
-  let thm41 () =
-    let u = Data.random_sub_universe st ~max_clauses:2 () in
-    let fam = Witness.Gfuv_family.make_bounded u in
-    Witness.Gfuv_family.bounded_reduction_holds fam (Data.random_pi st u)
+  let thm41 =
+    ( (fun () ->
+        let u = Data.random_sub_universe st ~max_clauses:2 () in
+        (Witness.Gfuv_family.make_bounded u, Data.random_pi st u)),
+      fun (fam, pi) -> Witness.Gfuv_family.bounded_reduction_holds fam pi )
   in
-  let thm33 () =
-    let u = Data.random_sub_universe st ~max_clauses:2 () in
-    let fam = Witness.Forbus_family.make u in
-    Witness.Forbus_family.reduction_holds fam (Data.random_pi st u)
+  let thm33 =
+    ( (fun () ->
+        let u = Data.random_sub_universe st ~max_clauses:2 () in
+        (Witness.Forbus_family.make u, Data.random_pi st u)),
+      fun (fam, pi) -> Witness.Forbus_family.reduction_holds fam pi )
   in
-  let thm36 op () =
-    let u = Data.random_sub_universe st () in
-    let fam = Witness.Dalal_family.make u in
-    Witness.Dalal_family.reduction_holds op fam (Data.random_pi st u)
+  let thm36 op =
+    ( (fun () ->
+        let u = Data.random_sub_universe st () in
+        (Witness.Dalal_family.make u, Data.random_pi st u)),
+      fun (fam, pi) -> Witness.Dalal_family.reduction_holds op fam pi )
   in
-  let thm32 () =
+  let thm32 =
     (* On the Theorem 3.1 family, GFUV/Satoh/Winslett/Weber inference must
        coincide (Eiter-Gottlob, used by Theorem 3.2). *)
-    let u = Data.random_sub_universe st ~max_clauses:2 () in
-    let fam = Witness.Gfuv_family.make u in
-    let pi = Data.random_pi st u in
-    let q = Witness.Gfuv_family.q_pi fam pi in
-    let t = Theory.conj fam.Witness.Gfuv_family.t_n in
-    let p = fam.Witness.Gfuv_family.p_n in
-    let alphabet =
-      Var.Set.elements (Var.Set.union (Formula.vars t) (Formula.vars p))
-    in
-    let gfuv = Witness.Gfuv_family.entails_q fam pi in
-    List.for_all
-      (fun op ->
-        Result.entails (Model_based.revise_on op alphabet t p) q = gfuv)
-      [ Model_based.Satoh; Model_based.Winslett; Model_based.Weber ]
+    ( (fun () ->
+        let u = Data.random_sub_universe st ~max_clauses:2 () in
+        (Witness.Gfuv_family.make u, Data.random_pi st u)),
+      fun (fam, pi) ->
+        let q = Witness.Gfuv_family.q_pi fam pi in
+        let t = Theory.conj fam.Witness.Gfuv_family.t_n in
+        let p = fam.Witness.Gfuv_family.p_n in
+        let alphabet =
+          Var.Set.elements (Var.Set.union (Formula.vars t) (Formula.vars p))
+        in
+        let gfuv = Witness.Gfuv_family.entails_q fam pi in
+        List.for_all
+          (fun op ->
+            Result.entails (Model_based.revise_on op alphabet t p) q = gfuv)
+          [ Model_based.Satoh; Model_based.Winslett; Model_based.Weber ] )
   in
   (* at-scale variants through the SAT-based model checker: alphabets far
      beyond brute-force enumeration *)
-  let thm33_sat () =
-    let u = Witness.Threesat.sub_universe 3 [ 0; 2; 4; 5; 7 ] in
-    let fam = Witness.Forbus_family.make u in
-    Witness.Forbus_family.reduction_holds_sat fam (Data.random_pi st u)
+  let thm33_sat =
+    ( (fun () ->
+        let u = Witness.Threesat.sub_universe 3 [ 0; 2; 4; 5; 7 ] in
+        (Witness.Forbus_family.make u, Data.random_pi st u)),
+      fun (fam, pi) -> Witness.Forbus_family.reduction_holds_sat fam pi )
   in
-  let thm36_sat op () =
-    let u = Witness.Threesat.full_universe 4 in
-    let fam = Witness.Dalal_family.make u in
-    let pi =
-      Witness.Threesat.random_instance st u
-        ~nclauses:(8 + Random.State.int st 12)
-    in
-    Witness.Dalal_family.reduction_holds_sat op fam pi
+  let thm36_sat op =
+    ( (fun () ->
+        let u = Witness.Threesat.full_universe 4 in
+        let fam = Witness.Dalal_family.make u in
+        let pi =
+          Witness.Threesat.random_instance st u
+            ~nclauses:(8 + Random.State.int st 12)
+        in
+        (fam, pi)),
+      fun (fam, pi) -> Witness.Dalal_family.reduction_holds_sat op fam pi )
   in
+  let count_ok n (gen, check) = count_ok n gen check in
   Report.table
     [ "theorem"; "claim checked on instance"; "holds" ]
     [

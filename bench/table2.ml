@@ -122,17 +122,21 @@ let iterated_bounded_sweep () =
   let t2 = Data.sat_formula st2 ~vars ~depth:3 in
   let pvars2 = List.filteri (fun i _ -> i < 2) vars in
   let ps2 = List.init 4 (fun _ -> Data.sat_formula st2 ~vars:pvars2 ~depth:2) in
+  (* four independent semantic-vs-compact equivalence checks: fan them
+     across the pool (each builds its own revision and solver state) *)
   let all_ok =
-    List.for_all
-      (fun (op, build) ->
-        let sem = Iterate.revise_seq_on op vars [ t2 ] ps2 in
-        Compact.Verify.query_equivalent sem (build t2 ps2))
-      [
-        (Operator.Winslett, Compact.Iterated_bounded.winslett_iter);
-        (Operator.Borgida, Compact.Iterated_bounded.borgida_iter);
-        (Operator.Forbus, Compact.Iterated_bounded.forbus_iter);
-        (Operator.Satoh, Compact.Iterated_bounded.satoh_iter);
-      ]
+    List.for_all Fun.id
+      (Revkb_parallel.Pool.map_list
+         (Revkb_parallel.Pool.global ())
+         (fun (op, build) ->
+           let sem = Iterate.revise_seq_on op vars [ t2 ] ps2 in
+           Compact.Verify.query_equivalent sem (build t2 ps2))
+         [
+           (Operator.Winslett, Compact.Iterated_bounded.winslett_iter);
+           (Operator.Borgida, Compact.Iterated_bounded.borgida_iter);
+           (Operator.Forbus, Compact.Iterated_bounded.forbus_iter);
+           (Operator.Satoh, Compact.Iterated_bounded.satoh_iter);
+         ])
   in
   Report.para
     (Printf.sprintf "  query-equivalence spot-check at m=4: %s"
@@ -142,38 +146,60 @@ let thm65_sweep () =
   Report.subsection
     "[bounded/logical NO]  Theorem 6.5 family: n constant-size revisions";
   let st = Data.fresh_state () in
+  let pool = Revkb_parallel.Pool.global () in
+  (* Families are drawn sequentially (shared RNG + intern table); the
+     agreement and reduction checks — each a pile of independent
+     revisions — fan across the pool. *)
+  let count_true l = List.length (List.filter Fun.id l) in
   let agree_checks = 3 in
-  let agree_ok = ref 0 in
-  for _ = 1 to agree_checks do
-    let u = Data.random_sub_universe st ~max_clauses:2 () in
-    if Witness.Iterated_family.operators_agree (Witness.Iterated_family.make u)
-    then incr agree_ok
-  done;
+  let agree_fams =
+    List.init agree_checks (fun _ ->
+        Witness.Iterated_family.make (Data.random_sub_universe st ~max_clauses:2 ()))
+  in
+  let agree_ok =
+    count_true
+      (Revkb_parallel.Pool.map_list pool Witness.Iterated_family.operators_agree
+         agree_fams)
+  in
   Report.para
     (Printf.sprintf
        "  all six operators produce identical model sets on the family: %d/%d"
-       !agree_ok agree_checks);
+       agree_ok agree_checks);
   let red_checks = 6 in
-  let red_ok = ref 0 in
-  for _ = 1 to red_checks do
-    let u = Data.random_sub_universe st ~max_clauses:2 () in
-    let fam = Witness.Iterated_family.make u in
-    let pi = Data.random_pi st u in
-    if
-      Witness.Iterated_family.reduction_holds Model_based.Dalal fam pi
-      && Witness.Iterated_family.reduction_holds Model_based.Winslett fam pi
-    then incr red_ok
-  done;
+  let red_instances =
+    List.init red_checks (fun _ ->
+        let u = Data.random_sub_universe st ~max_clauses:2 () in
+        let fam = Witness.Iterated_family.make u in
+        (fam, Data.random_pi st u))
+  in
+  let red_ok =
+    count_true
+      (Revkb_parallel.Pool.map_list pool
+         (fun (fam, pi) ->
+           Witness.Iterated_family.reduction_holds Model_based.Dalal fam pi
+           && Witness.Iterated_family.reduction_holds Model_based.Winslett fam
+                pi)
+         red_instances)
+  in
   Report.para
     (Printf.sprintf
        "  pi sat iff C_pi |= T_n * P^1 * ... * P^n (Dalal & Winslett): %d/%d"
-       !red_ok red_checks);
+       red_ok red_checks);
   Report.para "  representation sizes of the iterated result (Dalal path):";
-  let rows =
+  (* Deterministic families, built sequentially; the per-|U| measurement
+     (iterated revision + QMC + BDD, each with its own manager/solver)
+     is the expensive part and runs pool-wide. *)
+  let fams =
     List.map
       (fun m ->
-        let u = Witness.Threesat.sub_universe 3 (List.init m (fun i -> i)) in
-        let fam = Witness.Iterated_family.make u in
+        ( m,
+          Witness.Iterated_family.make
+            (Witness.Threesat.sub_universe 3 (List.init m (fun i -> i))) ))
+      [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  let rows =
+    Revkb_parallel.Pool.map_list pool
+      (fun (m, fam) ->
         let alphabet = Witness.Iterated_family.alphabet fam in
         let result =
           Iterate.revise_seq_on Operator.Dalal alphabet
@@ -206,7 +232,7 @@ let thm65_sweep () =
           string_of_int bdd;
           string_of_int (Formula.size phi);
         ])
-      [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+      fams
   in
   Report.table
     [

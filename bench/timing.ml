@@ -202,6 +202,26 @@ let run () =
             let base = Filename.chop_suffix name suffix in
             List.assoc_opt (base ^ "/packed") rows
             |> Option.map (fun packed_ns ->
+                   (* Feed the JSON artifact alongside the printed table:
+                      n comes from the "...-n%d" instance name, jobs is
+                      whatever the pool would use (these rows compare
+                      engines, not job counts). *)
+                   let n =
+                     match String.rindex_opt base 'n' with
+                     | Some i -> (
+                         match
+                           int_of_string_opt
+                             (String.sub base (i + 1)
+                                (String.length base - i - 1))
+                         with
+                         | Some n -> n
+                         | None -> 0)
+                     | None -> 0
+                   in
+                   Json_out.add ~bench:base ~n
+                     ~jobs:(Revkb_parallel.Pool.default_jobs ())
+                     ~wall_ms:(packed_ns /. 1e6)
+                     ~speedup:(legacy_ns /. packed_ns);
                    [
                      base;
                      human legacy_ns;
@@ -213,4 +233,5 @@ let run () =
   if speedups <> [] then begin
     Report.subsection "packed engine vs legacy list engine";
     Report.table [ "instance"; "legacy"; "packed"; "speedup" ] speedups
-  end
+  end;
+  Json_out.write ()

@@ -28,6 +28,28 @@ let read_file path =
 
 (* -- shared arguments ------------------------------------------------------ *)
 
+(* Worker domains for the parallel engine.  Evaluated as part of each
+   subcommand's term so the pool policy is set before any model work
+   runs; results are identical at every job count (the pool's
+   determinism contract), only the wall clock changes. *)
+let jobs_term =
+  let doc =
+    "Worker domains for enumeration, distance sweeps and batch checks \
+     (default: $(b,REVKB_JOBS), else the hardware's recommended domain \
+     count).  $(docv)=1 forces the sequential path."
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  Term.(
+    const (function
+        | Some n -> Revkb_parallel.Pool.set_default_jobs n
+        | None -> ())
+    $ jobs)
+
 let theory_args =
   let t_inline =
     Arg.(
@@ -106,7 +128,7 @@ let revise_cmd =
       & info [ "q"; "query" ] ~docv:"FORMULA"
           ~doc:"Decide T * P |= Q and print the answer.")
   in
-  let run theory op p ps models_flag dnf_flag min_flag query =
+  let run () theory op p ps models_flag dnf_flag min_flag query =
     let p = parse_formula p in
     let ps = List.map parse_formula ps in
     let result =
@@ -132,8 +154,8 @@ let revise_cmd =
   in
   let term =
     Term.(
-      const run $ theory_args $ op_arg $ p_arg $ ps_arg $ models_flag
-      $ dnf_flag $ min_flag $ query)
+      const run $ jobs_term $ theory_args $ op_arg $ p_arg $ ps_arg
+      $ models_flag $ dnf_flag $ min_flag $ query)
   in
   Cmd.v
     (Cmd.info "revise" ~doc:"Apply a revision operator to a knowledge base.")
@@ -159,7 +181,7 @@ let compact_cmd =
              (enumerates models; small alphabets only) and print analyzer \
              metrics.")
   in
-  let run theory op p ps bounded verify =
+  let run () theory op p ps bounded verify =
     let t = Theory.conj theory in
     let p = parse_formula p in
     let ps = List.map parse_formula ps in
@@ -203,8 +225,8 @@ let compact_cmd =
   in
   let term =
     Term.(
-      const run $ theory_args $ op_arg $ p_arg $ ps_arg $ bounded_flag
-      $ verify_flag)
+      const run $ jobs_term $ theory_args $ op_arg $ p_arg $ ps_arg
+      $ bounded_flag $ verify_flag)
   in
   Cmd.v
     (Cmd.info "compact"
@@ -216,7 +238,7 @@ let compact_cmd =
 (* -- worlds ------------------------------------------------------------------- *)
 
 let worlds_cmd =
-  let run theory p =
+  let run () theory p =
     let p = parse_formula p in
     let ws = Revision.Formula_based.worlds theory p in
     Format.printf "%d possible world(s):@." (List.length ws);
@@ -225,7 +247,7 @@ let worlds_cmd =
     Format.printf "WIDTIO: %a@." Theory.pp widtio;
     0
   in
-  let term = Term.(const run $ theory_args $ p_arg) in
+  let term = Term.(const run $ jobs_term $ theory_args $ p_arg) in
   Cmd.v
     (Cmd.info "worlds"
        ~doc:"Enumerate W(T, P): the maximal subsets of T consistent with P.")
@@ -361,7 +383,7 @@ let check_cmd =
           ~doc:
             "Interpretation to check, as a comma-separated list of the true              letters (empty string for the all-false interpretation).")
   in
-  let run theory op p m =
+  let run () theory op p m =
     let t = Theory.conj theory in
     let p = parse_formula p in
     let interp =
@@ -394,7 +416,7 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:
          "SAT-based model checking M |= T * P (no model enumeration; scales           to large alphabets).")
-    Term.(const run $ theory_args $ op_arg $ p_arg $ interp_arg)
+    Term.(const run $ jobs_term $ theory_args $ op_arg $ p_arg $ interp_arg)
 
 (* -- analyze ------------------------------------------------------------------ *)
 

@@ -197,6 +197,14 @@ let model_check ?(cegar_cap = 50_000) op t p n =
         if Semantics.is_sat (Formula.conj2 t p) then Interp.sat n t
         else winslett_check ~cap:cegar_cap t p alphabet n
 
+(* Candidate models are independent Σ₂/Δ₂ probes — every probe builds
+   its own Semantics env (own solver), so fanning them across the pool
+   shares nothing but the immutable formulas, and the answers come back
+   slotted in candidate order regardless of job count. *)
+let model_check_batch ?cegar_cap op t p ns =
+  let pool = Revkb_parallel.Pool.global () in
+  Revkb_parallel.Pool.map_list pool (fun n -> model_check ?cegar_cap op t p n) ns
+
 let entails op t p q =
   if not (Semantics.is_sat t) then
     invalid_arg "Compact.Check.entails: T unsatisfiable";

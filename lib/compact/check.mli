@@ -38,6 +38,18 @@ val model_check :
     bounds the Winslett/Forbus witness loop; exceeding it raises
     [Failure]. *)
 
+val model_check_batch :
+  ?cegar_cap:int ->
+  Revision.Model_based.op ->
+  Formula.t ->
+  Formula.t ->
+  Interp.t list ->
+  bool list
+(** {!model_check} over many candidate interpretations, fanned across
+    the {!Revkb_parallel.Pool.global} work pool (each probe owns its
+    solver).  Answers are returned in candidate order and are identical
+    at every job count. *)
+
 val dist_to : Formula.t -> Interp.t -> Var.t list -> int option
 (** [dist_to f n alphabet]: minimum Hamming distance over the alphabet
     between [n] and a model of [f] ([None] if [f] is unsatisfiable).

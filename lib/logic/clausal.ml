@@ -250,21 +250,28 @@ let decide_sat f =
 
 type stats = { horn : int; dual_horn : int; krom : int }
 
-let horn_hits = ref 0
-let dual_horn_hits = ref 0
-let krom_hits = ref 0
+(* Atomic: is_sat runs inside pool tasks, and a plain ref would drop
+   increments under concurrent fast-path hits. *)
+let horn_hits = Atomic.make 0
+let dual_horn_hits = Atomic.make 0
+let krom_hits = Atomic.make 0
 
 let stats () =
-  { horn = !horn_hits; dual_horn = !dual_horn_hits; krom = !krom_hits }
+  {
+    horn = Atomic.get horn_hits;
+    dual_horn = Atomic.get dual_horn_hits;
+    krom = Atomic.get krom_hits;
+  }
 
-let fast_path_hits () = !horn_hits + !dual_horn_hits + !krom_hits
+let fast_path_hits () =
+  Atomic.get horn_hits + Atomic.get dual_horn_hits + Atomic.get krom_hits
 
 let record_hit = function
-  | Horn -> incr horn_hits
-  | Dual_horn -> incr dual_horn_hits
-  | Krom -> incr krom_hits
+  | Horn -> Atomic.incr horn_hits
+  | Dual_horn -> Atomic.incr dual_horn_hits
+  | Krom -> Atomic.incr krom_hits
 
 let reset_stats () =
-  horn_hits := 0;
-  dual_horn_hits := 0;
-  krom_hits := 0
+  Atomic.set horn_hits 0;
+  Atomic.set dual_horn_hits 0;
+  Atomic.set krom_hits 0

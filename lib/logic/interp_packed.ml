@@ -177,15 +177,52 @@ let max_incl masks =
     a;
   normalize (Array.of_list !out)
 
-let sweep alpha pred =
-  let n = size alpha in
-  if not (fits alpha) then
-    invalid_arg
-      (Printf.sprintf
-         "Interp_packed.sweep: alphabet has %d letters, masks hold at most %d"
-         n max_letters);
+(* A min-inclusion frontier: the antichain of inclusion-minimal masks
+   seen so far.  [add] is the online filter behind the streaming distance
+   reductions — a candidate is dropped when some kept mask is contained
+   in it, and inserting a candidate evicts every kept mask it is
+   contained in.  After any insertion sequence the items are exactly the
+   minimal masks of the sequence, independent of order, which is what
+   makes per-domain frontiers mergeable into a deterministic result. *)
+module Frontier = struct
+  type frontier = { mutable items : int array; mutable len : int }
+  type t = frontier
+
+  let create () = { items = Array.make 16 0; len = 0 }
+  let size fr = fr.len
+
+  (* Takes everything as arguments: [add] runs once per streamed
+     candidate, and a [let rec] capturing [fr]/[d] would allocate a
+     closure on every call — dozens of MB over a large delta. *)
+  let rec dominated items len d i =
+    i < len && (subset items.(i) d || dominated items len d (i + 1))
+
+  let add fr d =
+    if not (dominated fr.items fr.len d 0) then begin
+      let k = ref 0 in
+      for i = 0 to fr.len - 1 do
+        if not (subset d fr.items.(i)) then begin
+          fr.items.(!k) <- fr.items.(i);
+          incr k
+        end
+      done;
+      fr.len <- !k;
+      if fr.len = Array.length fr.items then begin
+        let bigger = Array.make (2 * fr.len) 0 in
+        Array.blit fr.items 0 bigger 0 fr.len;
+        fr.items <- bigger
+      end;
+      fr.items.(fr.len) <- d;
+      fr.len <- fr.len + 1
+    end
+
+  let to_array fr = Array.sub fr.items 0 fr.len
+  let to_set fr = normalize (to_array fr)
+end
+
+let sweep_range pred lo hi =
   let buf = ref [] and count = ref 0 in
-  for code = (1 lsl n) - 1 downto 0 do
+  for code = hi - 1 downto lo do
     if pred code then begin
       buf := code :: !buf;
       incr count
@@ -194,3 +231,25 @@ let sweep alpha pred =
   let out = Array.make !count 0 in
   List.iteri (fun i m -> out.(i) <- m) !buf;
   out
+
+(* Below this many assignments the batch overhead beats the win; the
+   sequential and parallel paths produce identical arrays either way
+   (ascending ranges, ascending within a range). *)
+let sweep_parallel_threshold = 1 lsl 12
+
+let sweep alpha pred =
+  let n = size alpha in
+  if not (fits alpha) then
+    invalid_arg
+      (Printf.sprintf
+         "Interp_packed.sweep: alphabet has %d letters, masks hold at most %d"
+         n max_letters);
+  let total = 1 lsl n in
+  let pool = Revkb_parallel.Pool.global () in
+  if Revkb_parallel.Pool.jobs pool = 1 || total < sweep_parallel_threshold
+  then sweep_range pred 0 total
+  else
+    Array.concat
+      (Array.to_list
+         (Revkb_parallel.Pool.map_ranges pool ~lo:0 ~hi:total
+            (sweep_range pred)))

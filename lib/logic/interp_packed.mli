@@ -92,4 +92,33 @@ val max_incl : t array -> set
 
 val sweep : alphabet -> (t -> bool) -> set
 (** All masks [0 .. 2^size - 1] satisfying the predicate, ascending: the
-    packed truth-table sweep.  Requires [fits]. *)
+    packed truth-table sweep.  Requires [fits].  Above a size threshold
+    the assignment space is partitioned into contiguous ranges (fixing
+    the top letters) evaluated across the {!Revkb_parallel.Pool.global}
+    pool; chunk results concatenate in range order, so the output is
+    identical at every job count.  The predicate must therefore be pure —
+    {!compile}d predicates are. *)
+
+(** {1 Min-inclusion frontiers} *)
+
+(** The online minimal-antichain filter behind the streaming distance
+    reductions: insert candidate difference masks one by one and only the
+    inclusion-minimal ones are kept, so [δ(T, P)] never materializes the
+    [|Mod(T)|·|Mod(P)|] candidate array.  Insertion order does not affect
+    the final contents, which is what lets per-domain frontiers merge
+    into a deterministic result. *)
+module Frontier : sig
+  type t
+
+  val create : unit -> t
+  val size : t -> int
+
+  val add : t -> int -> unit
+  (** Insert a candidate, keeping only inclusion-minimal masks. *)
+
+  val to_array : t -> int array
+  (** Current antichain, unsorted. *)
+
+  val to_set : t -> set
+  (** Current antichain as a canonical sorted {!set}. *)
+end

@@ -59,16 +59,67 @@ let enumerate alphabet f =
     List.sort Var.Set.compare (Semantics.models_sat alphabet f)
   end
 
-let count alphabet f = List.length (enumerate alphabet f)
+(* Chunked forall-sweep shared by count/equivalent_on/entails_on: fold a
+   per-range result across the pool.  Conjunction and sum are
+   associative with an in-order merge, so the answer is identical at
+   every job count. *)
+let sweep_parallel_threshold = 1 lsl 12
+
+let for_all_codes n pred =
+  let total = 1 lsl n in
+  let chunk lo hi =
+    let rec go code = code >= hi || (pred code && go (code + 1)) in
+    go lo
+  in
+  let pool = Revkb_parallel.Pool.global () in
+  if Revkb_parallel.Pool.jobs pool = 1 || total < sweep_parallel_threshold
+  then chunk 0 total
+  else
+    Revkb_parallel.Pool.parallel_for_reduce pool ~lo:0 ~hi:total ~map:chunk
+      ~reduce:( && ) true
+
+let count alphabet f =
+  check_alphabet "Models.count" alphabet f;
+  let n = List.length alphabet in
+  if n <= sat_cutover then begin
+    (* Popcount-style path: evaluate the compiled predicate over every
+       assignment and sum per-range tallies — no model is ever unpacked
+       (or even stored). *)
+    let alpha = Interp_packed.alphabet alphabet in
+    let pred = Interp_packed.compile alpha f in
+    let total = 1 lsl Interp_packed.size alpha in
+    let chunk lo hi =
+      let c = ref 0 in
+      for code = lo to hi - 1 do
+        if pred code then incr c
+      done;
+      !c
+    in
+    let pool = Revkb_parallel.Pool.global () in
+    if Revkb_parallel.Pool.jobs pool = 1 || total < sweep_parallel_threshold
+    then chunk 0 total
+    else
+      Revkb_parallel.Pool.parallel_for_reduce pool ~lo:0 ~hi:total ~map:chunk
+        ~reduce:( + ) 0
+  end
+  else if not (Semantics.is_sat (assign_false_outside alphabet f)) then 0
+  else
+    (* Counting above the cutover would walk the full model set through
+       the SAT enumerator — potentially astronomically many blocking
+       clauses.  One SAT call settles the zero case; anything else is an
+       explicit opt-in via enumerate. *)
+    invalid_arg
+      (Printf.sprintf
+         "Models.count: %d letters exceeds sat_cutover (%d); counting would \
+          SAT-enumerate every model — use enumerate if that cost is intended"
+         n sat_cutover)
 
 let equivalent_on alphabet a b =
   if List.length alphabet <= sat_cutover then begin
     let alpha = Interp_packed.alphabet alphabet in
     let fa = Interp_packed.compile alpha a
     and fb = Interp_packed.compile alpha b in
-    let n = Interp_packed.size alpha in
-    let rec go code = code < 0 || (fa code = fb code && go (code - 1)) in
-    go ((1 lsl n) - 1)
+    for_all_codes (Interp_packed.size alpha) (fun code -> fa code = fb code)
   end
   else
     Semantics.equiv
@@ -80,11 +131,8 @@ let entails_on alphabet a b =
     let alpha = Interp_packed.alphabet alphabet in
     let fa = Interp_packed.compile alpha a
     and fb = Interp_packed.compile alpha b in
-    let n = Interp_packed.size alpha in
-    let rec go code =
-      code < 0 || (((not (fa code)) || fb code) && go (code - 1))
-    in
-    go ((1 lsl n) - 1)
+    for_all_codes (Interp_packed.size alpha) (fun code ->
+        (not (fa code)) || fb code)
   end
   else
     Semantics.entails

@@ -36,6 +36,13 @@ val enumerate_packed :
     bounds the SAT walk (ignored by the sweep). *)
 
 val count : Var.t list -> Formula.t -> int
+(** Model count over the alphabet without materializing the model set: at
+    most {!sat_cutover} letters, a compiled-predicate tally over the
+    [2^n] assignments (chunked across the pool, no model unpacked).
+    Above the cutover one SAT call settles the zero case; a satisfiable
+    formula raises [Invalid_argument] rather than silently walking a
+    potentially exponential model set through blocking clauses — callers
+    who really want that pay for it explicitly via {!enumerate}. *)
 
 val equivalent_on : Var.t list -> Formula.t -> Formula.t -> bool
 (** Logical equivalence over the alphabet: packed truth-table sweep below

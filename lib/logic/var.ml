@@ -4,6 +4,13 @@ let compare = Int.compare
 let equal = Int.equal
 let hash = Hashtbl.hash
 
+(* The intern table is process-global and interning happens inside pool
+   tasks (compact constructions rename letters, EXA builds counters), so
+   every access that can touch the table goes through one mutex.  Ids for
+   a given name are first-come-first-served: parallel phases can assign
+   different ids across runs, which is why nothing user-visible may
+   depend on id order — printing and alphabets speak names. *)
+let intern_mutex = Mutex.create ()
 let table : (string, int) Hashtbl.t = Hashtbl.create 256
 let names : string ref array ref = ref (Array.init 16 (fun _ -> ref ""))
 let next = ref 0
@@ -18,24 +25,39 @@ let name_slot i =
   !names.(i)
 
 let named s =
-  match Hashtbl.find_opt table s with
-  | Some v -> v
-  | None ->
+  Mutex.lock intern_mutex;
+  let v =
+    match Hashtbl.find_opt table s with
+    | Some v -> v
+    | None ->
+        let v = !next in
+        incr next;
+        (name_slot v) := s;
+        Hashtbl.add table s v;
+        v
+  in
+  Mutex.unlock intern_mutex;
+  v
+
+let gensym = ref 0
+
+let fresh ?(prefix = "_w") () =
+  Mutex.lock intern_mutex;
+  let rec go () =
+    let s = Printf.sprintf "%s%d" prefix !gensym in
+    incr gensym;
+    if Hashtbl.mem table s then go ()
+    else begin
       let v = !next in
       incr next;
       (name_slot v) := s;
       Hashtbl.add table s v;
       v
-
-let gensym = ref 0
-
-let fresh ?(prefix = "_w") () =
-  let rec go () =
-    let s = Printf.sprintf "%s%d" prefix !gensym in
-    incr gensym;
-    if Hashtbl.mem table s then go () else named s
+    end
   in
-  go ()
+  let v = go () in
+  Mutex.unlock intern_mutex;
+  v
 
 let name v = !(name_slot v)
 let copy_of ~suffix v = named (name v ^ suffix)

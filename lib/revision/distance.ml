@@ -6,40 +6,72 @@ open Logic
 let require name models =
   if models = [] then invalid_arg ("Distance." ^ name ^ ": empty model set")
 
+(* Streaming reductions: δ, k and Ω fold over Mod(T) × Mod(P) without
+   ever materializing the nt·np difference array the previous version
+   allocated — each chunk of Mod(T) keeps a min-inclusion frontier (or a
+   running min) and chunks merge at the barrier.  The minimal antichain
+   of a candidate stream is order-independent and min_incl canonicalizes
+   the merged frontiers, so sequential and parallel runs (any job count,
+   any chunking) return bit-identical sets. *)
 module Packed = struct
   module IP = Interp_packed
+  module Pool = Revkb_parallel.Pool
 
   let require name set =
     if Array.length set = 0 then
       invalid_arg ("Distance." ^ name ^ ": empty model set")
 
+  (* Below this many (m, n) pairs the batch overhead beats the win. *)
+  let parallel_threshold = 1 lsl 14
+
   let mu m p_models =
     require "mu" p_models;
-    IP.min_incl (Array.map (fun n -> m lxor n) p_models)
+    let fr = IP.Frontier.create () in
+    Array.iter (fun n -> IP.Frontier.add fr (m lxor n)) p_models;
+    IP.Frontier.to_set fr
 
   let k_pointwise m p_models =
     require "k_pointwise" p_models;
     Array.fold_left (fun acc n -> min acc (IP.hamming m n)) max_int p_models
 
+  let delta_chunk t_models p_models lo hi =
+    let fr = IP.Frontier.create () in
+    for i = lo to hi - 1 do
+      let m = t_models.(i) in
+      Array.iter (fun p -> IP.Frontier.add fr (m lxor p)) p_models
+    done;
+    fr
+
   let delta t_models p_models =
     require "delta" t_models;
     require "delta" p_models;
     let nt = Array.length t_models and np = Array.length p_models in
-    let diffs = Array.make (nt * np) 0 in
-    for i = 0 to nt - 1 do
-      let m = t_models.(i) in
-      for j = 0 to np - 1 do
-        diffs.((i * np) + j) <- m lxor p_models.(j)
-      done
-    done;
-    IP.min_incl diffs
+    let pool = Pool.global () in
+    if Pool.jobs pool = 1 || nt * np < parallel_threshold then
+      IP.Frontier.to_set (delta_chunk t_models p_models 0 nt)
+    else
+      IP.min_incl
+        (Array.concat
+           (Array.to_list
+              (Array.map IP.Frontier.to_array
+                 (Pool.map_ranges pool ~lo:0 ~hi:nt
+                    (delta_chunk t_models p_models)))))
 
   let k_global t_models p_models =
     require "k_global" t_models;
     require "k_global" p_models;
-    Array.fold_left
-      (fun acc m -> min acc (k_pointwise m p_models))
-      max_int t_models
+    let nt = Array.length t_models and np = Array.length p_models in
+    let chunk lo hi =
+      let acc = ref max_int in
+      for i = lo to hi - 1 do
+        acc := min !acc (k_pointwise t_models.(i) p_models)
+      done;
+      !acc
+    in
+    let pool = Pool.global () in
+    if Pool.jobs pool = 1 || nt * np < parallel_threshold then chunk 0 nt
+    else
+      Pool.parallel_for_reduce pool ~lo:0 ~hi:nt ~map:chunk ~reduce:min max_int
 
   let omega t_models p_models = IP.union_all (delta t_models p_models)
 end

@@ -41,7 +41,12 @@ val omega : Interp.t list -> Interp.t list -> Var.Set.t
 (** Packed engine: masks over a shared {!Interp_packed.alphabet}.
     Symmetric difference is [lxor], Hamming distance popcount, and
     minimal-difference filtering bitwise-inclusion over sorted mask
-    arrays.  Same nonempty contract as above. *)
+    arrays.  [delta]/[k_global]/[omega] are streaming reductions: chunks
+    of [Mod(T)] fold into per-domain min-inclusion frontiers
+    ({!Interp_packed.Frontier}) or running minima, merged at the barrier
+    — the [|Mod(T)|·|Mod(P)|] candidate array is never materialized, and
+    results are bit-identical at every job count.  Same nonempty
+    contract as above. *)
 module Packed : sig
   val mu : Interp_packed.t -> Interp_packed.set -> Interp_packed.set
   val k_pointwise : Interp_packed.t -> Interp_packed.set -> int

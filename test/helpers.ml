@@ -3,6 +3,13 @@
 
 open Logic
 
+(* Tests run sequentially by default so failures reproduce without
+   domains in the picture; the CI matrix overrides via REVKB_JOBS, and
+   test_parallel forces specific job counts with [Pool.with_jobs]. *)
+let () =
+  if Sys.getenv_opt "REVKB_JOBS" = None then
+    Revkb_parallel.Pool.set_default_jobs 1
+
 let letters = Gen.letters
 
 (* QCheck arbitrary for formulas over a fixed alphabet. *)

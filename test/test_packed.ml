@@ -161,6 +161,82 @@ let prop_distance_agrees =
               (Distance.omega t_models p_models)
               (Distance.Legacy.omega t_models p_models))
 
+(* -- streaming delta regression ------------------------------------------------ *)
+
+(* The Frontier-streaming delta against the Legacy reference on random
+   mask sets an order of magnitude bigger than the formula-driven cases
+   above: the antichain must not depend on the order candidates stream
+   through the frontier. *)
+let mask_set seed count =
+  let seed = (abs seed lor 1) land 0xFFFF in
+  Interp_packed.normalize
+    (Array.init count (fun i -> (((i + 3) * seed) + (i * i * 13)) land 0x3FF))
+
+let prop_streaming_delta_matches_legacy =
+  qtest "streaming delta/omega = legacy (random mask sets)" ~count:25
+    (arb_pair QCheck.int QCheck.int)
+    (fun (s1, s2) ->
+      let alpha = Interp_packed.alphabet vars10 in
+      let t_masks = mask_set s1 60 and p_masks = mask_set s2 60 in
+      let t_models = Interp_packed.interps_of_set alpha t_masks in
+      let p_models = Interp_packed.interps_of_set alpha p_masks in
+      same_models
+        (Interp_packed.interps_of_set alpha
+           (Distance.Packed.delta t_masks p_masks))
+        (Distance.Legacy.delta t_models p_models)
+      && Var.Set.equal
+           (Interp_packed.unpack alpha (Distance.Packed.omega t_masks p_masks))
+           (Distance.Legacy.omega t_models p_models)
+      && Distance.Packed.k_global t_masks p_masks
+         = Distance.Legacy.k_global t_models p_models)
+
+let test_packed_distance_empty_contract () =
+  let some = [| 1 |] in
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument msg ->
+        check_bool
+          (name ^ " error is attributed")
+          true
+          (contains_substring msg "Distance.")
+    | _ -> Alcotest.failf "Packed.%s accepted an empty model set" name
+  in
+  expect_invalid "mu" (fun () -> ignore (Distance.Packed.mu 0 [||]));
+  expect_invalid "k_pointwise" (fun () ->
+      ignore (Distance.Packed.k_pointwise 0 [||]));
+  expect_invalid "delta []/P" (fun () ->
+      ignore (Distance.Packed.delta [||] some));
+  expect_invalid "delta T/[]" (fun () ->
+      ignore (Distance.Packed.delta some [||]));
+  expect_invalid "k_global" (fun () ->
+      ignore (Distance.Packed.k_global [||] some));
+  expect_invalid "omega" (fun () -> ignore (Distance.Packed.omega some [||]))
+
+(* The acceptance criterion for the streaming rewrite: delta over
+   1000 x 1000 model sets must not allocate anything like the nt*np
+   difference array (8 MB of words) the old pipeline built — the
+   frontier plus bookkeeping stays under 1 MB. *)
+let test_streaming_delta_allocation () =
+  let mk seed =
+    Interp_packed.normalize
+      (Array.init 1000 (fun i -> ((i * 7919) + seed) land 0xFFFFF))
+  in
+  let t_masks = mk 1 and p_masks = mk 577 in
+  Revkb_parallel.Pool.with_jobs 1 (fun () ->
+      (* Joining a domain folds its lifetime allocation counters into the
+         global Gc stats, so force the jobs=1 pool rebuild (which joins
+         any previous workers) before taking the baseline. *)
+      ignore (Revkb_parallel.Pool.global ());
+      let before = Gc.allocated_bytes () in
+      let d = Distance.Packed.delta t_masks p_masks in
+      let allocated = Gc.allocated_bytes () -. before in
+      check_bool "delta nonempty" true (Array.length d > 0);
+      if allocated >= 1_000_000. then
+        Alcotest.failf
+          "streaming delta allocated %.0f bytes on a 1000x1000 instance \
+           (nt*np array would be ~8MB)"
+          allocated)
+
 (* -- the unified empty-model-set contract -------------------------------------- *)
 
 let test_distance_empty_contract () =
@@ -206,7 +282,12 @@ let () =
       ( "distance",
         [
           prop_distance_agrees;
+          prop_streaming_delta_matches_legacy;
           Alcotest.test_case "empty-set contract" `Quick
             test_distance_empty_contract;
+          Alcotest.test_case "packed empty-set contract" `Quick
+            test_packed_distance_empty_contract;
+          Alcotest.test_case "streaming delta stays allocation-lean" `Quick
+            test_streaming_delta_allocation;
         ] );
     ]
