@@ -1,9 +1,12 @@
 (* Machine-readable artifact for the speedup benches.  Sections push
-   {bench, n, jobs, wall_ms, speedup} rows as they measure; [write]
-   dumps everything accumulated so far to BENCH_parallel.json (path
-   overridable via REVKB_BENCH_JSON), so whichever section runs last
-   leaves the complete file behind.  Hand-rolled JSON: the repo has no
-   JSON dependency and the schema is four scalars. *)
+   {bench, n, jobs, wall_ms, speedup} rows as they measure — plus an
+   optional nested "metrics" object of instrumentation counter deltas —
+   and [write] dumps everything accumulated so far to
+   BENCH_parallel.json (path overridable via REVKB_BENCH_JSON), so
+   whichever section runs last leaves the complete file behind.
+   Hand-rolled JSON over the shared Export primitives: strings are
+   fully escaped and non-finite floats are rejected before they can
+   poison the artifact. *)
 
 type row = {
   bench : string;
@@ -11,38 +14,50 @@ type row = {
   jobs : int;
   wall_ms : float;
   speedup : float;
+  metrics : (string * int) list;
 }
 
 let rows : row list ref = ref []
 
-let add ~bench ~n ~jobs ~wall_ms ~speedup =
-  rows := { bench; n; jobs; wall_ms; speedup } :: !rows
+let add ?(metrics = []) ~bench ~n ~jobs ~wall_ms ~speedup () =
+  rows := { bench; n; jobs; wall_ms; speedup; metrics } :: !rows
 
 let path () =
   Option.value (Sys.getenv_opt "REVKB_BENCH_JSON") ~default:"BENCH_parallel.json"
 
-let escape s =
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (function
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let json_of_row r =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"bench\": %s, \"n\": %d, \"jobs\": %d"
+       (Revkb_obs.Export.json_string r.bench)
+       r.n r.jobs);
+  Buffer.add_string b
+    (Printf.sprintf ", \"wall_ms\": %s, \"speedup\": %s"
+       (Revkb_obs.Export.json_float r.wall_ms)
+       (Revkb_obs.Export.json_float r.speedup));
+  if r.metrics <> [] then begin
+    Buffer.add_string b ", \"metrics\": {";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string b ", ";
+        Buffer.add_string b
+          (Printf.sprintf "%s: %d" (Revkb_obs.Export.json_string k) v))
+      r.metrics;
+    Buffer.add_char b '}'
+  end;
+  Buffer.add_char b '}';
+  Buffer.contents b
 
 let write () =
   let file = path () in
   let oc = open_out file in
   let all = List.rev !rows in
+  let last = List.length all - 1 in
   output_string oc "[\n";
   List.iteri
     (fun i r ->
-      Printf.fprintf oc
-        "  {\"bench\": \"%s\", \"n\": %d, \"jobs\": %d, \"wall_ms\": %.3f, \
-         \"speedup\": %.2f}%s\n"
-        (escape r.bench) r.n r.jobs r.wall_ms r.speedup
-        (if i = List.length all - 1 then "" else ","))
+      Printf.fprintf oc "  %s%s\n" (json_of_row r)
+        (if i = last then "" else ","))
     all;
   output_string oc "]\n";
   close_out oc;

@@ -40,4 +40,8 @@ let () =
           Printf.eprintf "unknown section %S; available: %s\n" name
             (String.concat " " (List.map fst sections));
           exit 2)
-    requested
+    requested;
+  (* Under REVKB_STATS=1 the accumulated instrumentation snapshot goes
+     to stderr, after every section: one registry, whole-run totals. *)
+  if Revkb_obs.Obs.enabled () then
+    prerr_string (Revkb_obs.Export.table (Revkb_obs.Obs.snapshot ()))

@@ -14,6 +14,14 @@
 open Logic
 module Pool = Revkb_parallel.Pool
 module MB = Revision.Model_based
+module Obs = Revkb_obs.Obs
+
+(* Registry counter deltas across a timed window ride along in the JSON
+   rows (counters always record, so this costs nothing extra).  Only
+   nonzero deltas are kept: a sweep row reports sweep chunks and pool
+   tasks, not the whole registry. *)
+let metrics_between s0 s1 =
+  List.filter (fun (_, v) -> v <> 0) (Obs.diff s1 s0).Obs.counters
 
 let jobs_hi =
   match Option.bind (Sys.getenv_opt "REVKB_JOBS") int_of_string_opt with
@@ -40,13 +48,20 @@ let ms f = Printf.sprintf "%.2f ms" f
    check the outputs agree, push both rows to the JSON artifact and
    return a printable table row. *)
 let compare_jobs ~bench ~n ~equal f =
+  let s0 = Obs.snapshot () in
   let seq, seq_ms = Pool.with_jobs 1 (fun () -> time f) in
+  let s1 = Obs.snapshot () in
   let par, par_ms = Pool.with_jobs jobs_hi (fun () -> time f) in
+  let s2 = Obs.snapshot () in
   if not (equal seq par) then
     failwith (Printf.sprintf "parallel mismatch in %s (n=%d)" bench n);
   let speedup = seq_ms /. par_ms in
-  Json_out.add ~bench ~n ~jobs:1 ~wall_ms:seq_ms ~speedup:1.0;
-  Json_out.add ~bench ~n ~jobs:jobs_hi ~wall_ms:par_ms ~speedup;
+  Json_out.add
+    ~metrics:(metrics_between s0 s1)
+    ~bench ~n ~jobs:1 ~wall_ms:seq_ms ~speedup:1.0 ();
+  Json_out.add
+    ~metrics:(metrics_between s1 s2)
+    ~bench ~n ~jobs:jobs_hi ~wall_ms:par_ms ~speedup ();
   [
     bench;
     string_of_int n;
@@ -114,7 +129,7 @@ let distance_rows () =
   if not (Interp_packed.equal_set mat streaming) then
     failwith "materialized delta disagrees with streaming delta";
   Json_out.add ~bench:"delta-materialized" ~n:20 ~jobs:1 ~wall_ms:mat_ms
-    ~speedup:1.0;
+    ~speedup:1.0 ();
   let mat_row =
     [ "delta-materialized (old)"; "20"; ms mat_ms; "-"; "-"; "ok" ]
   in

@@ -218,10 +218,16 @@ let run () =
                          | None -> 0)
                      | None -> 0
                    in
-                   Json_out.add ~bench:base ~n
-                     ~jobs:(Revkb_parallel.Pool.default_jobs ())
-                     ~wall_ms:(packed_ns /. 1e6)
-                     ~speedup:(legacy_ns /. packed_ns);
+                   (* json_float rejects non-finite values, so a failed
+                      OLS estimate (nan) must not reach the artifact. *)
+                   if
+                     Float.is_finite packed_ns
+                     && Float.is_finite (legacy_ns /. packed_ns)
+                   then
+                     Json_out.add ~bench:base ~n
+                       ~jobs:(Revkb_parallel.Pool.default_jobs ())
+                       ~wall_ms:(packed_ns /. 1e6)
+                       ~speedup:(legacy_ns /. packed_ns) ();
                    [
                      base;
                      human legacy_ns;

@@ -14,10 +14,29 @@
      revkb compact -o dalal -t 'a & b & c' -p '~a | ~b'
      revkb compact -o winslett --bounded -t 'a & b & c' -p '~a'
      revkb worlds -T kb.txt -p '~b'
-     revkb sat problem.cnf *)
+     revkb sat problem.cnf
+
+   Observability:
+     revkb --stats ... (or REVKB_STATS=1) prints an instrumentation
+     snapshot on stderr at exit; revkb trace -o out.json SUBCMD ARGS...
+     additionally records every span and writes a Chrome trace_event
+     JSON openable in about://tracing or Perfetto. *)
 
 open Cmdliner
 open Logic
+module Obs = Revkb_obs.Obs
+
+(* The at_exit snapshot prints to stderr: golden CLI tests diff stdout,
+   so CI can run the whole suite under REVKB_STATS=1 without churn. *)
+let stats_hook = ref false
+
+let enable_stats () =
+  Obs.set_enabled true;
+  if not !stats_hook then begin
+    stats_hook := true;
+    at_exit (fun () ->
+        prerr_string (Revkb_obs.Export.table (Obs.snapshot ())))
+  end
 
 let read_file path =
   let ic = open_in path in
@@ -44,11 +63,22 @@ let jobs_term =
       & opt (some int) None
       & info [ "j"; "jobs" ] ~docv:"N" ~doc)
   in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print an instrumentation snapshot (solver, fragment-route, \
+             pool and span statistics) on stderr at exit.  Implied by \
+             $(b,REVKB_STATS=1).")
+  in
   Term.(
-    const (function
+    const (fun jobs stats ->
+        (match jobs with
         | Some n -> Revkb_parallel.Pool.set_default_jobs n
-        | None -> ())
-    $ jobs)
+        | None -> ());
+        if stats || Obs.enabled () then enable_stats ())
+    $ jobs $ stats)
 
 let theory_args =
   let t_inline =
@@ -613,6 +643,76 @@ let repl_cmd =
          "Interactive session: log revisions, incorporate on access           (Section 6.2 strategy).")
     Term.(const run $ op_default $ theory_opt)
 
+(* -- trace -------------------------------------------------------------------- *)
+
+(* [revkb trace [-o FILE] SUBCMD ARGS...] is handled by a pre-scan of
+   argv, not a cmdliner subcommand: the wrapped subcommand's own options
+   (including its [-o OPERATOR]) must pass through untouched, which
+   [pos_all] cannot deliver.  Only [-o]/[--output] before the first
+   non-option token belong to trace; everything from the subcommand name
+   on is re-evaluated against the normal command group.  The writer runs
+   from [at_exit] so traces survive subcommands that [exit] directly. *)
+let trace_prescan argv =
+  let n = Array.length argv in
+  if n < 2 || argv.(1) <> "trace" then argv
+  else begin
+    let out = ref "trace.json" in
+    let rec scan i =
+      if i >= n then []
+      else
+        match argv.(i) with
+        | "-o" | "--output" ->
+            if i + 1 >= n then begin
+              prerr_endline "revkb trace: -o requires a file argument";
+              exit 2
+            end;
+            out := argv.(i + 1);
+            scan (i + 2)
+        | _ -> Array.to_list (Array.sub argv i (n - i))
+    in
+    match scan 2 with
+    | [] ->
+        prerr_endline
+          "revkb trace: missing a subcommand to trace\n\
+           usage: revkb trace [-o FILE] SUBCMD ARGS...";
+        exit 2
+    | sub ->
+        let path = !out in
+        Obs.set_tracing true;
+        enable_stats ();
+        at_exit (fun () ->
+            let events = Obs.trace_events () in
+            let oc = open_out path in
+            output_string oc (Revkb_obs.Export.chrome_trace events);
+            close_out oc;
+            let dropped = Obs.trace_dropped () in
+            Printf.eprintf "trace: %d event(s)%s -> %s\n%!"
+              (List.length events)
+              (if dropped > 0 then Printf.sprintf ", %d dropped" dropped
+               else "")
+              path);
+        Array.of_list (argv.(0) :: sub)
+  end
+
+(* Documentation stub: the pre-scan intercepts any real invocation, so
+   this term only renders help ([revkb help trace]). *)
+let trace_cmd =
+  let term =
+    Term.(
+      ret
+        (const
+           (`Error (true, "usage: revkb trace [-o FILE] SUBCMD ARGS..."))))
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run any subcommand with span tracing on and write a Chrome \
+          trace_event JSON (default $(b,trace.json), or $(b,-o) FILE) \
+          openable in about://tracing or Perfetto.  Trace options must \
+          precede the wrapped subcommand; everything after it is passed \
+          through verbatim.")
+    term
+
 let () =
   let default =
     Term.(ret (const (`Help (`Pager, None))))
@@ -625,7 +725,7 @@ let () =
          (PODS'95)."
   in
   exit
-    (Cmd.eval'
+    (Cmd.eval' ~argv:(trace_prescan Sys.argv)
        (Cmd.group ~default info
           [
             revise_cmd;
@@ -636,4 +736,5 @@ let () =
             check_cmd;
             analyze_cmd;
             repl_cmd;
+            trace_cmd;
           ]))

@@ -1,5 +1,11 @@
 open Logic
 module MB = Revision.Model_based
+module Obs = Revkb_obs.Obs
+
+(* CEGAR refinement count: witnesses blocked before a probe resolved.
+   One increment per solver round-trip, so the counter is a direct read
+   on how hard the Σ₂ checks are working. *)
+let c_cegar = Obs.counter "check.cegar_iters"
 
 let joint t p =
   Var.Set.elements (Var.Set.union (Formula.vars t) (Formula.vars p))
@@ -47,6 +53,7 @@ let exists_witness ~cap t alphabet refutes =
     else begin
       let m = Semantics.model_on env alphabet in
       if refutes m then begin
+        Obs.incr c_cegar;
         Semantics.block env alphabet m;
         loop (i + 1)
       end
@@ -67,6 +74,7 @@ let exists_witness_packed ~cap t alpha refutes =
     else begin
       let m = Semantics.mask_on env alpha in
       if refutes m then begin
+        Obs.incr c_cegar;
         Semantics.block_mask env alpha m;
         loop (i + 1)
       end
@@ -158,7 +166,7 @@ let forbus_check ~cap t p alphabet n =
     exists_witness ~cap t alphabet (fun m ->
         closer_by_cardinality p alphabet m (Interp.hamming m n))
 
-let model_check ?(cegar_cap = 50_000) op t p n =
+let model_check_inner ~cegar_cap op t p n =
   if not (Semantics.is_sat t) then
     invalid_arg "Compact.Check: T unsatisfiable";
   if not (Semantics.is_sat p) then
@@ -196,6 +204,11 @@ let model_check ?(cegar_cap = 50_000) op t p n =
     | MB.Borgida ->
         if Semantics.is_sat (Formula.conj2 t p) then Interp.sat n t
         else winslett_check ~cap:cegar_cap t p alphabet n
+
+let model_check ?(cegar_cap = 50_000) op t p n =
+  Obs.with_span "check.model_check"
+    ~attrs:(fun () -> [ ("op", MB.name op) ])
+    (fun () -> model_check_inner ~cegar_cap op t p n)
 
 (* Candidate models are independent Σ₂/Δ₂ probes — every probe builds
    its own Semantics env (own solver), so fanning them across the pool

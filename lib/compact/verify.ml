@@ -17,25 +17,28 @@ let same_model_sets_on alphabet a b =
   else same_model_sets a b
 
 let logically_equivalent result f =
-  let alphabet = Revision.Result.alphabet result in
-  if not (Var.Set.subset (Formula.vars f) (Var.set_of_list alphabet)) then
-    false
-  else
-    let alpha = Interp_packed.alphabet alphabet in
-    if Interp_packed.fits alpha then
-      Interp_packed.equal_set
-        (Models.enumerate_packed alpha f)
-        (Interp_packed.set_of_interps alpha (Revision.Result.models result))
-    else
-      same_model_sets
-        (Models.enumerate alphabet f)
-        (Revision.Result.models result)
+  Revkb_obs.Obs.with_span "verify.logical" (fun () ->
+      let alphabet = Revision.Result.alphabet result in
+      if not (Var.Set.subset (Formula.vars f) (Var.set_of_list alphabet))
+      then false
+      else
+        let alpha = Interp_packed.alphabet alphabet in
+        if Interp_packed.fits alpha then
+          Interp_packed.equal_set
+            (Models.enumerate_packed alpha f)
+            (Interp_packed.set_of_interps alpha
+               (Revision.Result.models result))
+        else
+          same_model_sets
+            (Models.enumerate alphabet f)
+            (Revision.Result.models result))
 
 let query_equivalent result f =
-  let alphabet = Revision.Result.alphabet result in
-  same_model_sets_on alphabet
-    (Semantics.models_sat alphabet f)
-    (Revision.Result.models result)
+  Revkb_obs.Obs.with_span "verify.query" (fun () ->
+      let alphabet = Revision.Result.alphabet result in
+      same_model_sets_on alphabet
+        (Semantics.models_sat alphabet f)
+        (Revision.Result.models result))
 
 let report ppf result f =
   let m = Revkb_analysis.Metrics.of_formula f in

@@ -250,28 +250,32 @@ let decide_sat f =
 
 type stats = { horn : int; dual_horn : int; krom : int }
 
-(* Atomic: is_sat runs inside pool tasks, and a plain ref would drop
-   increments under concurrent fast-path hits. *)
-let horn_hits = Atomic.make 0
-let dual_horn_hits = Atomic.make 0
-let krom_hits = Atomic.make 0
+(* The hit counters live on the Obs registry (still Atomic-backed:
+   is_sat runs inside pool tasks, and a plain ref would drop increments
+   under concurrent fast-path hits).  [stats]/[reset_stats] stay as the
+   historical API over the same cells, so a --stats snapshot and the
+   analyzer read one source of truth. *)
+let horn_hits = Revkb_obs.Obs.counter "sat.route.horn"
+let dual_horn_hits = Revkb_obs.Obs.counter "sat.route.dual_horn"
+let krom_hits = Revkb_obs.Obs.counter "sat.route.krom"
 
 let stats () =
   {
-    horn = Atomic.get horn_hits;
-    dual_horn = Atomic.get dual_horn_hits;
-    krom = Atomic.get krom_hits;
+    horn = Revkb_obs.Obs.value horn_hits;
+    dual_horn = Revkb_obs.Obs.value dual_horn_hits;
+    krom = Revkb_obs.Obs.value krom_hits;
   }
 
 let fast_path_hits () =
-  Atomic.get horn_hits + Atomic.get dual_horn_hits + Atomic.get krom_hits
+  let s = stats () in
+  s.horn + s.dual_horn + s.krom
 
 let record_hit = function
-  | Horn -> Atomic.incr horn_hits
-  | Dual_horn -> Atomic.incr dual_horn_hits
-  | Krom -> Atomic.incr krom_hits
+  | Horn -> Revkb_obs.Obs.incr horn_hits
+  | Dual_horn -> Revkb_obs.Obs.incr dual_horn_hits
+  | Krom -> Revkb_obs.Obs.incr krom_hits
 
 let reset_stats () =
-  Atomic.set horn_hits 0;
-  Atomic.set dual_horn_hits 0;
-  Atomic.set krom_hits 0
+  Revkb_obs.Obs.reset_counter horn_hits;
+  Revkb_obs.Obs.reset_counter dual_horn_hits;
+  Revkb_obs.Obs.reset_counter krom_hits

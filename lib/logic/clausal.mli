@@ -64,7 +64,10 @@ val decide_sat : Formula.t -> (bool * route) option
     {!Semantics.is_sat} consults {!decide_sat} first; these counters
     record how often the linear deciders answered.  Global and monotone,
     like {!Var.count}; [reset_stats] is for tests that need a clean
-    window. *)
+    window.  The cells themselves live on the [Revkb_obs] registry (as
+    [sat.route.horn] / [sat.route.dual_horn] / [sat.route.krom]), so a
+    [--stats] snapshot reports the same numbers this API reads; this
+    module remains the compatibility surface. *)
 
 type stats = { horn : int; dual_horn : int; krom : int }
 

@@ -220,7 +220,14 @@ module Frontier = struct
   let to_set fr = normalize (to_array fr)
 end
 
+(* Chunk accounting is per-range, never per-code: two atomic adds on a
+   block of up to 2^n assignments keep the inner loop untouched. *)
+let c_sweep_chunks = Revkb_obs.Obs.counter "enum.sweep_chunks"
+let c_sweep_codes = Revkb_obs.Obs.counter "enum.sweep_codes"
+
 let sweep_range pred lo hi =
+  Revkb_obs.Obs.incr c_sweep_chunks;
+  Revkb_obs.Obs.add c_sweep_codes (hi - lo);
   let buf = ref [] and count = ref 0 in
   for code = hi - 1 downto lo do
     if pred code then begin
@@ -244,12 +251,15 @@ let sweep alpha pred =
       (Printf.sprintf
          "Interp_packed.sweep: alphabet has %d letters, masks hold at most %d"
          n max_letters);
-  let total = 1 lsl n in
-  let pool = Revkb_parallel.Pool.global () in
-  if Revkb_parallel.Pool.jobs pool = 1 || total < sweep_parallel_threshold
-  then sweep_range pred 0 total
-  else
-    Array.concat
-      (Array.to_list
-         (Revkb_parallel.Pool.map_ranges pool ~lo:0 ~hi:total
-            (sweep_range pred)))
+  Revkb_obs.Obs.with_span "enum.sweep"
+    ~attrs:(fun () -> [ ("n", string_of_int n) ])
+    (fun () ->
+      let total = 1 lsl n in
+      let pool = Revkb_parallel.Pool.global () in
+      if Revkb_parallel.Pool.jobs pool = 1 || total < sweep_parallel_threshold
+      then sweep_range pred 0 total
+      else
+        Array.concat
+          (Array.to_list
+             (Revkb_parallel.Pool.map_ranges pool ~lo:0 ~hi:total
+                (sweep_range pred))))

@@ -43,11 +43,22 @@ module Legacy = struct
       (Interp.subsets alphabet)
 end
 
+(* One span per enumeration covers both engines; the model counter sums
+   what every enumeration in the process produced. *)
+let c_models = Revkb_obs.Obs.counter "enum.models"
+
 let enumerate_packed ?cap alpha f =
   check_alphabet "Models.enumerate" (Interp_packed.letters alpha) f;
-  if Interp_packed.size alpha <= sat_cutover then
-    Interp_packed.sweep alpha (Interp_packed.compile alpha f)
-  else Semantics.masks_sat ?cap alpha f
+  let set =
+    Revkb_obs.Obs.with_span "models.enumerate"
+      ~attrs:(fun () -> [ ("n", string_of_int (Interp_packed.size alpha)) ])
+      (fun () ->
+        if Interp_packed.size alpha <= sat_cutover then
+          Interp_packed.sweep alpha (Interp_packed.compile alpha f)
+        else Semantics.masks_sat ?cap alpha f)
+  in
+  Revkb_obs.Obs.add c_models (Array.length set);
+  set
 
 let enumerate alphabet f =
   let n = List.length alphabet in

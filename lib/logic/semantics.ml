@@ -163,13 +163,19 @@ let is_sat_cdcl f =
 (* Fast path: formulas that are syntactically Horn / dual-Horn / Krom
    CNF are decided by the linear-time routines in {!Clausal} before a
    solver is ever created.  The structural check costs one traversal and
-   fails over to CDCL on any other shape. *)
+   fails over to CDCL on any other shape.  The cdcl counter completes
+   the routing picture the fragment counters start: together they say
+   what share of is_sat queries ever built a solver. *)
+let route_cdcl = Revkb_obs.Obs.counter "sat.route.cdcl"
+
 let is_sat f =
   match Clausal.decide_sat f with
   | Some (answer, route) ->
       Clausal.record_hit route;
       answer
-  | None -> is_sat_cdcl f
+  | None ->
+      Revkb_obs.Obs.incr route_cdcl;
+      is_sat_cdcl f
 
 let is_valid f = not (is_sat (Formula.not_ f))
 let entails a b = not (is_sat (Formula.conj2 a (Formula.not_ b)))

@@ -1,0 +1,38 @@
+(** Exporters for {!Obs} snapshots and trace buffers.
+
+    Also home of the shared JSON string/float primitives, so every
+    hand-rolled emitter in the repo escapes and validates identically
+    (the repo has no JSON dependency by policy). *)
+
+(** {1 JSON primitives} *)
+
+val json_escape : string -> string
+(** Escape string contents for a JSON string literal: quote, backslash
+    and every control character (standard short escapes, [\uXXXX]
+    otherwise).  Does not add the surrounding quotes. *)
+
+val json_string : string -> string
+(** [json_escape] wrapped in double quotes. *)
+
+val json_float : float -> string
+(** Render a finite float; raises [Invalid_argument] on NaN or
+    infinities, which JSON cannot represent — an emitter must fail
+    loudly rather than write an unparseable artifact. *)
+
+(** {1 Snapshot renderers} *)
+
+val table : Obs.snapshot -> string
+(** Human-readable sections (counters / histograms / spans); zero rows
+    are elided, span rows include per-domain totals when more than one
+    domain recorded. *)
+
+val json_lines : Obs.snapshot -> string
+(** One self-describing JSON object per line
+    ([{"type": "counter", "name": ..., ...}]). *)
+
+(** {1 Chrome trace} *)
+
+val chrome_trace : Obs.event list -> string
+(** The trace_event JSON array (complete "X" events, tid = domain,
+    timestamps rebased to the earliest event) that
+    [about://tracing] / Perfetto open directly. *)

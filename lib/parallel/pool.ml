@@ -16,6 +16,18 @@ type t = {
 
 let jobs t = t.jobs
 
+(* Utilization accounting.  Counters are per-task, and tasks are
+   chunk-sized by construction (map_ranges splits work into a few
+   chunks per job), so the atomic adds are noise.  The pool.task span
+   gives per-worker busy time: span aggregation is keyed by recording
+   domain, so the snapshot separates each worker's share. *)
+module Obs = Revkb_obs.Obs
+
+let c_tasks = Obs.counter "pool.tasks"
+let c_help_tasks = Obs.counter "pool.help_tasks"
+let c_inline_tasks = Obs.counter "pool.inline_tasks"
+let c_batches = Obs.counter "pool.batches"
+
 let worker_loop pool =
   let rec loop () =
     Mutex.lock pool.mutex;
@@ -32,7 +44,8 @@ let worker_loop pool =
     match task with
     | None -> ()
     | Some f ->
-        f ();
+        Obs.incr c_tasks;
+        Obs.with_span "pool.task" f;
         loop ()
   in
   loop ()
@@ -69,8 +82,14 @@ let shutdown pool =
 let run pool tasks =
   let n = Array.length tasks in
   if n = 0 then ()
-  else if pool.jobs = 1 || n = 1 then Array.iter (fun f -> f ()) tasks
+  else if pool.jobs = 1 || n = 1 then
+    Array.iter
+      (fun f ->
+        Obs.incr c_inline_tasks;
+        Obs.with_span "pool.task" f)
+      tasks
   else begin
+    Obs.incr c_batches;
     let remaining = ref n in
     let batch_done = Condition.create () in
     let failure = ref None in
@@ -97,7 +116,9 @@ let run pool tasks =
          else begin
            let f = Queue.pop pool.queue in
            Mutex.unlock pool.mutex;
-           f ();
+           Obs.incr c_tasks;
+           Obs.incr c_help_tasks;
+           Obs.with_span "pool.task" f;
            Mutex.lock pool.mutex
          end);
         help ()

@@ -19,7 +19,13 @@
 
     {b Job-count policy.} [default_jobs] is, in order: the value forced by
     {!set_default_jobs} (the [revkb -j] flag), the [REVKB_JOBS]
-    environment variable, then [Domain.recommended_domain_count ()]. *)
+    environment variable, then [Domain.recommended_domain_count ()].
+
+    {b Instrumentation.} Task execution is wrapped in the [pool.task]
+    span and counted on the [Revkb_obs] registry ([pool.tasks] /
+    [pool.help_tasks] / [pool.inline_tasks] / [pool.batches]), so a
+    [--stats] snapshot reports utilization and per-worker busy time.
+    Pure bookkeeping: results are unchanged at every job count. *)
 
 type t
 

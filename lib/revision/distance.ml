@@ -16,6 +16,7 @@ let require name models =
 module Packed = struct
   module IP = Interp_packed
   module Pool = Revkb_parallel.Pool
+  module Obs = Revkb_obs.Obs
 
   let require name set =
     if Array.length set = 0 then
@@ -23,6 +24,12 @@ module Packed = struct
 
   (* Below this many (m, n) pairs the batch overhead beats the win. *)
   let parallel_threshold = 1 lsl 14
+
+  (* Per-chunk frontier sizes: the live antichain is the whole memory
+     story of the streaming rewrite, so its size distribution is the
+     number to watch.  Recorded once per chunk, far off the
+     per-candidate Frontier.add path. *)
+  let h_frontier = Obs.hist "distance.frontier_size"
 
   let mu m p_models =
     require "mu" p_models;
@@ -40,38 +47,45 @@ module Packed = struct
       let m = t_models.(i) in
       Array.iter (fun p -> IP.Frontier.add fr (m lxor p)) p_models
     done;
+    Obs.observe h_frontier (IP.Frontier.size fr);
     fr
+
+  let size_attrs nt np () =
+    [ ("nt", string_of_int nt); ("np", string_of_int np) ]
 
   let delta t_models p_models =
     require "delta" t_models;
     require "delta" p_models;
     let nt = Array.length t_models and np = Array.length p_models in
-    let pool = Pool.global () in
-    if Pool.jobs pool = 1 || nt * np < parallel_threshold then
-      IP.Frontier.to_set (delta_chunk t_models p_models 0 nt)
-    else
-      IP.min_incl
-        (Array.concat
-           (Array.to_list
-              (Array.map IP.Frontier.to_array
-                 (Pool.map_ranges pool ~lo:0 ~hi:nt
-                    (delta_chunk t_models p_models)))))
+    Obs.with_span "distance.delta" ~attrs:(size_attrs nt np) (fun () ->
+        let pool = Pool.global () in
+        if Pool.jobs pool = 1 || nt * np < parallel_threshold then
+          IP.Frontier.to_set (delta_chunk t_models p_models 0 nt)
+        else
+          IP.min_incl
+            (Array.concat
+               (Array.to_list
+                  (Array.map IP.Frontier.to_array
+                     (Pool.map_ranges pool ~lo:0 ~hi:nt
+                        (delta_chunk t_models p_models))))))
 
   let k_global t_models p_models =
     require "k_global" t_models;
     require "k_global" p_models;
     let nt = Array.length t_models and np = Array.length p_models in
-    let chunk lo hi =
-      let acc = ref max_int in
-      for i = lo to hi - 1 do
-        acc := min !acc (k_pointwise t_models.(i) p_models)
-      done;
-      !acc
-    in
-    let pool = Pool.global () in
-    if Pool.jobs pool = 1 || nt * np < parallel_threshold then chunk 0 nt
-    else
-      Pool.parallel_for_reduce pool ~lo:0 ~hi:nt ~map:chunk ~reduce:min max_int
+    Obs.with_span "distance.k_global" ~attrs:(size_attrs nt np) (fun () ->
+        let chunk lo hi =
+          let acc = ref max_int in
+          for i = lo to hi - 1 do
+            acc := min !acc (k_pointwise t_models.(i) p_models)
+          done;
+          !acc
+        in
+        let pool = Pool.global () in
+        if Pool.jobs pool = 1 || nt * np < parallel_threshold then chunk 0 nt
+        else
+          Pool.parallel_for_reduce pool ~lo:0 ~hi:nt ~map:chunk ~reduce:min
+            max_int)
 
   let omega t_models p_models = IP.union_all (delta t_models p_models)
 end

@@ -37,6 +37,8 @@ type t = {
   mutable conflicts : int;
   mutable decisions : int;
   mutable propagations : int;
+  mutable learned : int;
+  mutable restarts : int;
   mutable last_model : bool array;
 }
 
@@ -68,6 +70,8 @@ let create () =
     conflicts = 0;
     decisions = 0;
     propagations = 0;
+    learned = 0;
+    restarts = 0;
     last_model = [||];
   }
 
@@ -294,6 +298,7 @@ let analyze s confl =
   (Array.init (Vec.size learnt) (Vec.get learnt), !btlevel)
 
 let record_learnt s lits =
+  s.learned <- s.learned + 1;
   if Array.length lits = 1 then enqueue s lits.(0) None
   else begin
     let c = { lits; learnt = true; activity = 0.0; deleted = false } in
@@ -445,7 +450,21 @@ let search s assumptions conflict_budget =
   done;
   match !result with Some r -> r | None -> assert false
 
-let solve ?(assumptions = []) s =
+(* Registry mirror of the per-solver counters: each [solve] flushes the
+   deltas it produced, so one snapshot aggregates every solver instance
+   in the process (enumeration spawns many).  The private mutable
+   fields stay the hot-path storage — propagation never touches an
+   Atomic. *)
+module Obs = Revkb_obs.Obs
+
+let c_solves = Obs.counter "sat.solves"
+let c_decisions = Obs.counter "sat.decisions"
+let c_propagations = Obs.counter "sat.propagations"
+let c_conflicts = Obs.counter "sat.conflicts"
+let c_learned = Obs.counter "sat.learned"
+let c_restarts = Obs.counter "sat.restarts"
+
+let solve_inner assumptions s =
   if not s.ok then false
   else begin
     cancel_until s 0;
@@ -455,7 +474,9 @@ let solve ?(assumptions = []) s =
       match search s assumptions budget with
       | Sat -> true
       | Unsat -> false
-      | Restart -> loop (restarts + 1)
+      | Restart ->
+          s.restarts <- s.restarts + 1;
+          loop (restarts + 1)
     in
     let sat = loop 0 in
     if sat then begin
@@ -466,9 +487,50 @@ let solve ?(assumptions = []) s =
     sat
   end
 
+let solve ?(assumptions = []) s =
+  let d0 = s.decisions
+  and p0 = s.propagations
+  and c0 = s.conflicts
+  and l0 = s.learned
+  and r0 = s.restarts in
+  let sat = Obs.with_span "sat.solve" (fun () -> solve_inner assumptions s) in
+  Obs.incr c_solves;
+  Obs.add c_decisions (s.decisions - d0);
+  Obs.add c_propagations (s.propagations - p0);
+  Obs.add c_conflicts (s.conflicts - c0);
+  Obs.add c_learned (s.learned - l0);
+  Obs.add c_restarts (s.restarts - r0);
+  sat
+
 let value s l =
   let v = Lit.var l in
   let b = if v < Array.length s.last_model then s.last_model.(v) else false in
   if Lit.is_pos l then b else not b
 
 let model s = Array.copy s.last_model
+
+(* Defined last so the shared field names never shadow the solver's own
+   mutable counters above. *)
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  learned : int;
+  restarts : int;
+}
+
+let stats (s : t) : stats =
+  {
+    decisions = s.decisions;
+    propagations = s.propagations;
+    conflicts = s.conflicts;
+    learned = s.learned;
+    restarts = s.restarts;
+  }
+
+let reset_stats (s : t) =
+  s.decisions <- 0;
+  s.propagations <- 0;
+  s.conflicts <- 0;
+  s.learned <- 0;
+  s.restarts <- 0

@@ -43,7 +43,26 @@ val ok : t -> bool
 (** [false] once the clause set has been proved unsatisfiable at top
     level. *)
 
-(** Statistics counters (cumulative over the solver's lifetime). *)
+(** {1 Statistics}
+
+    Counters are cumulative over the solver's lifetime and monotone
+    across [solve] calls (until {!reset_stats}).  Each [solve] also
+    flushes its deltas to the [Revkb_obs] registry under [sat.*], so a
+    process-wide snapshot aggregates every solver instance. *)
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  learned : int; (* learnt clauses recorded, unit learnts included *)
+  restarts : int;
+}
+
+val stats : t -> stats
+
+val reset_stats : t -> unit
+(** Zero the counters (clauses and assignments are untouched).  Do not
+    call while a [solve] is in progress. *)
 
 val n_conflicts : t -> int
 val n_decisions : t -> int

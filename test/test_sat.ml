@@ -270,13 +270,46 @@ let test_ensure_nvars_idempotent () =
   let v = S.new_var s in
   Helpers.check_int "next var" 5 v
 
+(* The stats record must grow monotonically across solve calls, zero on
+   [reset_stats], and resume counting afterwards. *)
 let test_statistics_monotone () =
   let s = S.create () in
   S.add_clause s [ L.of_var 0; L.of_var 1 ];
   S.add_clause s [ L.neg (L.of_var 0); L.of_var 1 ];
   ignore (S.solve s);
-  Helpers.check_bool "propagations counted" true (S.n_propagations s >= 0);
-  Helpers.check_bool "decisions counted" true (S.n_decisions s >= 0)
+  let st1 = S.stats s in
+  Helpers.check_bool "propagations counted" true (st1.S.propagations >= 0);
+  Helpers.check_bool "decisions counted" true (st1.S.decisions >= 0);
+  Helpers.check_int "legacy getter agrees" st1.S.propagations
+    (S.n_propagations s);
+  ignore (S.solve s);
+  ignore (S.solve ~assumptions:[ L.neg (L.of_var 1) ] s);
+  let st2 = S.stats s in
+  Helpers.check_bool "decisions monotone" true
+    (st2.S.decisions >= st1.S.decisions);
+  Helpers.check_bool "propagations monotone" true
+    (st2.S.propagations >= st1.S.propagations);
+  Helpers.check_bool "conflicts monotone" true
+    (st2.S.conflicts >= st1.S.conflicts);
+  Helpers.check_bool "learned monotone" true (st2.S.learned >= st1.S.learned);
+  Helpers.check_bool "restarts monotone" true
+    (st2.S.restarts >= st1.S.restarts);
+  (* The unsat-under-assumptions probe must have worked at least once. *)
+  Helpers.check_bool "some propagation happened" true
+    (st2.S.propagations > 0);
+  S.reset_stats s;
+  let z = S.stats s in
+  Helpers.check_int "reset decisions" 0 z.S.decisions;
+  Helpers.check_int "reset propagations" 0 z.S.propagations;
+  Helpers.check_int "reset conflicts" 0 z.S.conflicts;
+  Helpers.check_int "reset learned" 0 z.S.learned;
+  Helpers.check_int "reset restarts" 0 z.S.restarts;
+  S.add_clause s [ L.of_var 2 ];
+  S.add_clause s [ L.neg (L.of_var 2); L.of_var 3 ];
+  ignore (S.solve s);
+  let r = S.stats s in
+  Helpers.check_bool "counting resumes after reset" true
+    (r.S.propagations + r.S.decisions > 0)
 
 (* -- DIMACS -------------------------------------------------------------- *)
 
