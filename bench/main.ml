@@ -5,7 +5,7 @@
      dune exec bench/main.exe -- SECTION…  # run selected sections
 
    Sections: examples figure1 explosion table1 table2 size_audit postulates
-   compilation timing parallel *)
+   compilation timing parallel incremental *)
 
 let sections =
   [
@@ -19,6 +19,7 @@ let sections =
     ("compilation", Compilation.run);
     ("timing", Timing.run);
     ("parallel", Parallel_bench.run);
+    ("incremental", Incremental.run);
   ]
 
 let () =

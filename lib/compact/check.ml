@@ -1,6 +1,8 @@
 open Logic
 module MB = Revision.Model_based
 module Obs = Revkb_obs.Obs
+module Session = Semantics.Session
+module Ladder = Semantics.Ladder
 
 (* CEGAR refinement count: witnesses blocked before a probe resolved.
    One increment per solver round-trip, so the counter is a direct read
@@ -10,72 +12,64 @@ let c_cegar = Obs.counter "check.cegar_iters"
 let joint t p =
   Var.Set.elements (Var.Set.union (Formula.vars t) (Formula.vars p))
 
-(* Minimum Hamming distance between the fixed interpretation [n] and a
-   model of [f], by probing f ∧ EXA(k, X, N) with the N side pinned to
-   constants. *)
-let dist_to f n alphabet =
-  if not (Semantics.is_sat f) then None
-  else begin
-    let avoid = Var.set_of_list alphabet in
-    let ys = Names.copy ~avoid ~suffix:"_d" alphabet in
-    let pin =
-      Formula.and_
-        (List.map2
-           (fun x y ->
-             if Var.Set.mem x n then Formula.var y
-             else Formula.not_ (Formula.var y))
-           alphabet ys)
-    in
-    let len = List.length alphabet in
-    let rec probe k =
-      if k > len then None
-      else begin
-        let exa_k, _ = Hamming.exa k alphabet ys in
-        if Semantics.is_sat (Formula.and_ [ f; pin; exa_k ]) then Some k
-        else probe (k + 1)
-      end
-    in
-    probe 0
-  end
+(* Minimum Hamming distance between a fixed interpretation and a model
+   of [f]: one session holding [f] and a pinnable cardinality ladder,
+   so the satisfiability pre-check, every threshold probe, and — when
+   the prober is reused — every further reference point all run on the
+   same solver with [f] encoded exactly once. *)
+module Dist = struct
+  type t = { s : Session.t; fs : Formula.t list; pv : Ladder.pinned }
 
-(* CEGAR for the pointwise operators.  [refutes m] must return true when
-   the witness [m] does NOT select [n]; witnesses are drawn from the
-   models of [t] and blocked one by one.  Witnesses are handled as packed
-   masks when the alphabet fits in one ([exists_witness_packed]); the
-   [Var.Set.t] variant remains for larger alphabets. *)
-let exists_witness ~cap t alphabet refutes =
-  let env = Semantics.create () in
-  List.iter (fun x -> ignore (Semantics.lit_of_var env x)) alphabet;
-  Semantics.assert_formula env t;
+  let create f alphabet =
+    let s = Session.create ~vars:alphabet () in
+    { s; fs = [ f ]; pv = Ladder.against (Session.env s) alphabet }
+
+  let to_interp d n =
+    Session.min_distance d.s ~assume:(Ladder.pin d.pv n) d.fs
+      (Ladder.ladder d.pv)
+
+  let to_mask d m =
+    Session.min_distance d.s ~assume:(Ladder.pin_mask d.pv m) d.fs
+      (Ladder.ladder d.pv)
+
+  (* Model of [fs] strictly closer to the reference than [k]?  A single
+     probe — the exact minimum is never needed for the CEGAR refutes. *)
+  let closer_than_interp d n k =
+    Session.closer_than d.s ~assume:(Ladder.pin d.pv n) d.fs
+      (Ladder.ladder d.pv) k
+
+  let closer_than_mask d m k =
+    Session.closer_than d.s ~assume:(Ladder.pin_mask d.pv m) d.fs
+      (Ladder.ladder d.pv) k
+end
+
+let dist_to f n alphabet = Dist.to_interp (Dist.create f alphabet) n
+
+(* Context threaded through the CEGAR loops so a cap failure names the
+   operator, the cap, and the alphabet width it died on. *)
+type cegar_ctx = { cap : int; opname : string; nletters : int }
+
+let cegar_fail ctx =
+  failwith
+    (Printf.sprintf
+       "Compact.Check: CEGAR cap exceeded (cap=%d, op=%s, %d-letter alphabet)"
+       ctx.cap ctx.opname ctx.nletters)
+
+(* CEGAR for the pointwise operators, all on ONE session per call site:
+   witnesses are models of [t] under a retractable blocking scope, and
+   [refutes m] — which must hold when the witness does NOT select [n] —
+   asks its own queries on the same solver (the blocking scope is not
+   activated for those, so blocked witnesses never constrain a
+   refutation probe). *)
+let witness_loop ctx s t scope ~model ~block ~refutes =
   let rec loop i =
-    if i > cap then failwith "Compact.Check: CEGAR cap exceeded"
-    else if not (Semantics.solve env) then false
+    if i > ctx.cap then cegar_fail ctx
+    else if not (Session.solve s ~scopes:[ scope ] [ t ]) then false
     else begin
-      let m = Semantics.model_on env alphabet in
+      let m = model () in
       if refutes m then begin
         Obs.incr c_cegar;
-        Semantics.block env alphabet m;
-        loop (i + 1)
-      end
-      else true
-    end
-  in
-  loop 0
-
-let exists_witness_packed ~cap t alpha refutes =
-  let env = Semantics.create () in
-  List.iter
-    (fun x -> ignore (Semantics.lit_of_var env x))
-    (Interp_packed.letters alpha);
-  Semantics.assert_formula env t;
-  let rec loop i =
-    if i > cap then failwith "Compact.Check: CEGAR cap exceeded"
-    else if not (Semantics.solve env) then false
-    else begin
-      let m = Semantics.mask_on env alpha in
-      if refutes m then begin
-        Obs.incr c_cegar;
-        Semantics.block_mask env alpha m;
+        block m;
         loop (i + 1)
       end
       else true
@@ -84,9 +78,10 @@ let exists_witness_packed ~cap t alpha refutes =
   loop 0
 
 (* Is there a model of [p] strictly closer (inclusion-wise) to [m] than
-   [n] is?  One SAT call: pin agreement outside the difference, require
-   strict containment. *)
-let closer_by_inclusion p alphabet m n =
+   [n] is?  One query on the shared session: the agreement pin is pure
+   assumption literals (premise of a literal conjunction), the strict
+   part one memoized disjunction. *)
+let closer_by_inclusion_in s p alphabet m n =
   let d = Interp.sym_diff m n in
   if Var.Set.is_empty d then false
   else begin
@@ -95,10 +90,7 @@ let closer_by_inclusion p alphabet m n =
         (List.filter_map
            (fun x ->
              if Var.Set.mem x d then None
-             else
-               Some
-                 (if Var.Set.mem x m then Formula.var x
-                  else Formula.not_ (Formula.var x)))
+             else Some (Formula.lit (Var.Set.mem x m) x))
            alphabet)
     in
     let strictly_inside =
@@ -106,26 +98,21 @@ let closer_by_inclusion p alphabet m n =
         (List.map
            (fun x ->
              (* N' agrees with m on some letter of the difference *)
-             if Var.Set.mem x m then Formula.var x
-             else Formula.not_ (Formula.var x))
+             Formula.lit (Var.Set.mem x m) x)
            (Var.Set.elements d))
     in
-    Semantics.is_sat (Formula.and_ [ p; agree; strictly_inside ])
+    Session.solve s [ p; agree; strictly_inside ]
   end
 
-(* Is there a model of [p] at distance < d from [m]? *)
-let closer_by_cardinality p alphabet m d =
-  match dist_to p m alphabet with
-  | None -> false
-  | Some dp -> dp < d
-
-(* Mask variant of [closer_by_inclusion]: the difference is one [lxor],
-   and the pin/strict formulas read bits instead of set membership. *)
-let closer_by_inclusion_packed p alpha m n =
+(* Mask variant: the difference is one [lxor], and the pin/strict
+   formulas read bits instead of set membership. *)
+let closer_by_inclusion_packed_in s p alpha m n =
   let d = m lxor n in
   if d = 0 then false
   else begin
-    let bits = List.mapi (fun i x -> (1 lsl i, x)) (Interp_packed.letters alpha) in
+    let bits =
+      List.mapi (fun i x -> (1 lsl i, x)) (Interp_packed.letters alpha)
+    in
     let agree =
       Formula.and_
         (List.filter_map
@@ -142,29 +129,66 @@ let closer_by_inclusion_packed p alpha m n =
              else None)
            bits)
     in
-    Semantics.is_sat (Formula.and_ [ p; agree; strictly_inside ])
+    Session.solve s [ p; agree; strictly_inside ]
   end
 
-let winslett_check ~cap t p alphabet n =
+(* The pointwise checks.  Each builds one session carrying: [t]'s
+   witness enumeration (scoped blocking), [p]'s refutation probes, and
+   for Forbus the shared pinnable cardinality ladder over [p]. *)
+
+let winslett_in ctx s t p alphabet n =
   let alpha = Interp_packed.alphabet alphabet in
-  if Interp_packed.fits alpha then
-    let n = Interp_packed.pack alpha n in
-    exists_witness_packed ~cap t alpha (fun m ->
-        closer_by_inclusion_packed p alpha m n)
+  let scope = Session.new_scope s in
+  if Interp_packed.fits alpha then begin
+    let nm = Interp_packed.pack alpha n in
+    witness_loop ctx s t scope
+      ~model:(fun () -> Session.mask_on s alpha)
+      ~block:(fun m -> Session.block_mask s scope alpha m)
+      ~refutes:(fun m -> closer_by_inclusion_packed_in s p alpha m nm)
+  end
   else
-    exists_witness ~cap t alphabet (fun m ->
-        closer_by_inclusion p alphabet m n)
+    witness_loop ctx s t scope
+      ~model:(fun () -> Session.model_on s alphabet)
+      ~block:(fun m -> Session.block s scope alphabet m)
+      ~refutes:(fun m -> closer_by_inclusion_in s p alphabet m n)
+
+let forbus_in ctx s t p alphabet n =
+  let alpha = Interp_packed.alphabet alphabet in
+  let scope = Session.new_scope s in
+  let env = Session.env s in
+  if Interp_packed.fits alpha then begin
+    let letters = Interp_packed.letters alpha in
+    let pv = Ladder.against env letters in
+    let lad = Ladder.ladder pv in
+    let nm = Interp_packed.pack alpha n in
+    witness_loop ctx s t scope
+      ~model:(fun () -> Session.mask_on s alpha)
+      ~block:(fun m -> Session.block_mask s scope alpha m)
+      ~refutes:(fun m ->
+        Session.closer_than s ~assume:(Ladder.pin_mask pv m) [ p ] lad
+          (Interp_packed.hamming m nm))
+  end
+  else begin
+    let pv = Ladder.against env alphabet in
+    let lad = Ladder.ladder pv in
+    witness_loop ctx s t scope
+      ~model:(fun () -> Session.model_on s alphabet)
+      ~block:(fun m -> Session.block s scope alphabet m)
+      ~refutes:(fun m ->
+        Session.closer_than s ~assume:(Ladder.pin pv m) [ p ] lad
+          (Interp.hamming m n))
+  end
+
+let ctx_for ~cap op alphabet =
+  { cap; opname = MB.name op; nletters = List.length alphabet }
+
+let winslett_check ~cap t p alphabet n =
+  let s = Session.create ~vars:alphabet () in
+  winslett_in (ctx_for ~cap MB.Winslett alphabet) s t p alphabet n
 
 let forbus_check ~cap t p alphabet n =
-  let alpha = Interp_packed.alphabet alphabet in
-  if Interp_packed.fits alpha then
-    let n_mask = Interp_packed.pack alpha n in
-    exists_witness_packed ~cap t alpha (fun m ->
-        closer_by_cardinality p alphabet (Interp_packed.unpack alpha m)
-          (Interp_packed.hamming m n_mask))
-  else
-    exists_witness ~cap t alphabet (fun m ->
-        closer_by_cardinality p alphabet m (Interp.hamming m n))
+  let s = Session.create ~vars:alphabet () in
+  forbus_in (ctx_for ~cap MB.Forbus alphabet) s t p alphabet n
 
 let model_check_inner ~cegar_cap op t p n =
   if not (Semantics.is_sat t) then
@@ -189,10 +213,7 @@ let model_check_inner ~cegar_cap op t p n =
             (List.filter_map
                (fun x ->
                  if Var.Set.mem x omega then None
-                 else
-                   Some
-                     (if Var.Set.mem x n then Formula.var x
-                      else Formula.not_ (Formula.var x)))
+                 else Some (Formula.lit (Var.Set.mem x n) x))
                alphabet)
         in
         Semantics.is_sat (Formula.conj2 t pin)
@@ -202,8 +223,12 @@ let model_check_inner ~cegar_cap op t p n =
     | MB.Winslett -> winslett_check ~cap:cegar_cap t p alphabet n
     | MB.Forbus -> forbus_check ~cap:cegar_cap t p alphabet n
     | MB.Borgida ->
-        if Semantics.is_sat (Formula.conj2 t p) then Interp.sat n t
-        else winslett_check ~cap:cegar_cap t p alphabet n
+        (* One session: the T /\ P satisfiability gate is its first
+           query, and the Winslett fallback inherits the warm solver. *)
+        let s = Session.create ~vars:alphabet () in
+        if Session.solve s [ t; p ] then Interp.sat n t
+        else winslett_in (ctx_for ~cap:cegar_cap MB.Borgida alphabet) s t p
+            alphabet n
 
 let model_check ?(cegar_cap = 50_000) op t p n =
   Obs.with_span "check.model_check"
@@ -211,7 +236,7 @@ let model_check ?(cegar_cap = 50_000) op t p n =
     (fun () -> model_check_inner ~cegar_cap op t p n)
 
 (* Candidate models are independent Σ₂/Δ₂ probes — every probe builds
-   its own Semantics env (own solver), so fanning them across the pool
+   its own session (own solver), so fanning them across the pool
    shares nothing but the immutable formulas, and the answers come back
    slotted in candidate order regardless of job count. *)
 let model_check_batch ?cegar_cap op t p ns =
@@ -231,3 +256,122 @@ let entails op t p q =
         Iterated_bounded.for_op op t [ p ]
   in
   Semantics.entails compiled q
+
+(* -- fresh-solver oracle -------------------------------------------------
+
+   The pre-session implementations: a fresh solver (and a fresh Tseitin
+   encoding, and for distances a fresh [Hamming.exa k]) per probe.  Kept
+   callable as the differential oracle of the session paths and as the
+   baseline side of the incremental bench. *)
+
+module Fresh = struct
+  let dist_to f n alphabet =
+    if not (Semantics.is_sat f) then None
+    else begin
+      let avoid = Var.set_of_list alphabet in
+      let ys = Names.copy ~avoid ~suffix:"_d" alphabet in
+      let pin =
+        Formula.and_
+          (List.map2
+             (fun x y -> Formula.lit (Var.Set.mem x n) y)
+             alphabet ys)
+      in
+      let len = List.length alphabet in
+      let rec probe k =
+        if k > len then None
+        else begin
+          let exa_k, _ = Hamming.exa k alphabet ys in
+          if Semantics.is_sat (Formula.and_ [ f; pin; exa_k ]) then Some k
+          else probe (k + 1)
+        end
+      in
+      probe 0
+    end
+
+  let exists_witness ctx t alphabet refutes =
+    let env = Semantics.create () in
+    List.iter (fun x -> ignore (Semantics.lit_of_var env x)) alphabet;
+    Semantics.assert_formula env t;
+    let rec loop i =
+      if i > ctx.cap then cegar_fail ctx
+      else if not (Semantics.solve env) then false
+      else begin
+        let m = Semantics.model_on env alphabet in
+        if refutes m then begin
+          Obs.incr c_cegar;
+          Semantics.block env alphabet m;
+          loop (i + 1)
+        end
+        else true
+      end
+    in
+    loop 0
+
+  let closer_by_inclusion p alphabet m n =
+    let d = Interp.sym_diff m n in
+    if Var.Set.is_empty d then false
+    else begin
+      let agree =
+        Formula.and_
+          (List.filter_map
+             (fun x ->
+               if Var.Set.mem x d then None
+               else Some (Formula.lit (Var.Set.mem x m) x))
+             alphabet)
+      in
+      let strictly_inside =
+        Formula.or_
+          (List.map
+             (fun x -> Formula.lit (Var.Set.mem x m) x)
+             (Var.Set.elements d))
+      in
+      Semantics.is_sat (Formula.and_ [ p; agree; strictly_inside ])
+    end
+
+  let closer_by_cardinality p alphabet m d =
+    match dist_to p m alphabet with
+    | None -> false
+    | Some dp -> dp < d
+
+  let winslett_check ~cap t p alphabet n =
+    exists_witness (ctx_for ~cap MB.Winslett alphabet) t alphabet (fun m ->
+        closer_by_inclusion p alphabet m n)
+
+  let forbus_check ~cap t p alphabet n =
+    exists_witness (ctx_for ~cap MB.Forbus alphabet) t alphabet (fun m ->
+        closer_by_cardinality p alphabet m (Interp.hamming m n))
+
+  let model_check ?(cegar_cap = 50_000) op t p n =
+    if not (Semantics.is_sat t) then
+      invalid_arg "Compact.Check: T unsatisfiable";
+    if not (Semantics.is_sat p) then
+      invalid_arg "Compact.Check: P unsatisfiable";
+    let alphabet = joint t p in
+    let n = Interp.restrict (Var.set_of_list alphabet) n in
+    if not (Interp.sat n p) then false
+    else
+      match op with
+      | MB.Dalal -> (
+          match (Hamming.min_distance_exa t p, dist_to t n alphabet) with
+          | Some k, Some d -> d = k
+          | _ -> assert false (* both satisfiable *))
+      | MB.Weber ->
+          let omega = Measure.omega t p in
+          let pin =
+            Formula.and_
+              (List.filter_map
+                 (fun x ->
+                   if Var.Set.mem x omega then None
+                   else Some (Formula.lit (Var.Set.mem x n) x))
+                 alphabet)
+          in
+          Semantics.is_sat (Formula.conj2 t pin)
+      | MB.Satoh ->
+          let delta = Measure.delta t p in
+          List.exists (fun s -> Interp.sat (Interp.sym_diff n s) t) delta
+      | MB.Winslett -> winslett_check ~cap:cegar_cap t p alphabet n
+      | MB.Forbus -> forbus_check ~cap:cegar_cap t p alphabet n
+      | MB.Borgida ->
+          if Semantics.is_sat (Formula.conj2 t p) then Interp.sat n t
+          else winslett_check ~cap:cegar_cap t p alphabet n
+end

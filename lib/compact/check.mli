@@ -53,7 +53,28 @@ val model_check_batch :
 val dist_to : Formula.t -> Interp.t -> Var.t list -> int option
 (** [dist_to f n alphabet]: minimum Hamming distance over the alphabet
     between [n] and a model of [f] ([None] if [f] is unsatisfiable).
-    Exposed for the benches. *)
+    One {!Logic.Semantics.Session} holds [f] and a pinnable cardinality
+    ladder; the satisfiability pre-check is the sweep's first query and
+    each threshold is an assumption flip.  Exposed for the benches. *)
+
+(** A reusable distance prober: [f] and the ladder are encoded once,
+    and every reference point (interpretation or packed mask) is a set
+    of pin assumptions on the same live solver.  [dist_to] is
+    [Dist.to_interp (Dist.create f alphabet)]; keep the prober when
+    sweeping many reference points against one formula. *)
+module Dist : sig
+  type t
+
+  val create : Formula.t -> Var.t list -> t
+  val to_interp : t -> Interp.t -> int option
+  val to_mask : t -> Interp_packed.t -> int option
+
+  val closer_than_interp : t -> Interp.t -> int -> bool
+  (** Model of [f] strictly closer than [k] to the reference?  A single
+      ladder probe — no minimum computed. *)
+
+  val closer_than_mask : t -> Interp_packed.t -> int -> bool
+end
 
 val entails :
   Revision.Model_based.op -> Formula.t -> Formula.t -> Formula.t -> bool
@@ -66,3 +87,20 @@ val entails :
     therefore subject to the bounded-|V(P)| limit; Satoh uses the
     corrected δ-guard step.  Raises [Invalid_argument] on unsatisfiable
     [t]/[p] or on an over-wide [p] for the pointwise operators. *)
+
+(** The pre-session implementations — a fresh solver, a fresh Tseitin
+    encoding, and (for distances) a fresh [Hamming.exa k] build per
+    probe.  Semantically identical to the session paths; kept callable
+    as their differential oracle and as the baseline side of the
+    incremental bench. *)
+module Fresh : sig
+  val dist_to : Formula.t -> Interp.t -> Var.t list -> int option
+
+  val model_check :
+    ?cegar_cap:int ->
+    Revision.Model_based.op ->
+    Formula.t ->
+    Formula.t ->
+    Interp.t ->
+    bool
+end

@@ -18,16 +18,15 @@ let revise_info t p =
   in
   let y = Names.copy ~suffix:"'" x in
   let t_y = Formula.rename (List.combine x y) t in
-  let n = List.length x in
-  let rec probe k =
-    if k > n then invalid_arg "Dalal_compact: no distance found (unreachable)"
-    else begin
-      let exa_k, aux = Hamming.exa k x y in
-      if Semantics.is_sat (Formula.and_ [ t_y; p; exa_k ]) then (k, exa_k, aux)
-      else probe (k + 1)
-    end
+  (* k_{T,P} by the incremental session sweep (one solver, assumption
+     flips on a shared ladder); EXA is then Tseitin'd exactly once, for
+     the output formula rather than for the search. *)
+  let k =
+    match Hamming.min_distance_sat t p with
+    | Some k -> k
+    | None -> assert false (* both satisfiable *)
   in
-  let k, exa_k, aux = probe 0 in
+  let exa_k, aux = Hamming.exa k x y in
   { formula = Formula.and_ [ t_y; p; exa_k ]; k; x; y; aux }
 
 let revise t p = (revise_info t p).formula

@@ -12,7 +12,6 @@ let dalal t ps =
   if not (Semantics.is_sat t) then
     invalid_arg "Iterated.dalal: T unsatisfiable";
   let x = joint_alphabet t ps in
-  let n = List.length x in
   let avoid = ref (Var.set_of_list x) in
   let step i phi p =
     if not (Semantics.is_sat p) then
@@ -20,16 +19,15 @@ let dalal t ps =
     let y = Names.copy ~avoid:!avoid ~suffix:(Printf.sprintf "_y%d" i) x in
     avoid := Var.Set.union !avoid (Var.set_of_list y);
     let phi_ren = Formula.rename (List.combine x y) phi in
-    let rec probe k =
-      if k > n then
-        invalid_arg "Iterated.dalal: prefix revision unsatisfiable"
-      else begin
-        let exa_k, _aux = Hamming.exa k y x in
-        let candidate = Formula.and_ [ phi_ren; p; exa_k ] in
-        if Semantics.is_sat candidate then (k, candidate) else probe (k + 1)
-      end
+    (* minimum distance by the session sweep; EXA built once at the
+       answer, not once per probed threshold *)
+    let k =
+      match Hamming.min_distance_sat phi p with
+      | Some k -> k
+      | None -> invalid_arg "Iterated.dalal: prefix revision unsatisfiable"
     in
-    let k, formula = probe 0 in
+    let exa_k, _aux = Hamming.exa k y x in
+    let formula = Formula.and_ [ phi_ren; p; exa_k ] in
     { formula; measure = k; size = Formula.size formula }
   in
   let _, _, steps =

@@ -1,30 +1,53 @@
 open Logic
 
+(* One session for the whole 2^{|V(P)|} sweep: [t[X/Y] /\ p] is asserted
+   permanently, each movable letter gets one xor ("difference") literal,
+   and a candidate difference set is a polarity choice on those literals
+   — pure assumptions, no re-encoding per subset. *)
 let realizable_diffs t p =
   if not (Semantics.is_sat t) then
     invalid_arg "Measure: T is unsatisfiable";
   if not (Semantics.is_sat p) then
     invalid_arg "Measure: P is unsatisfiable";
-  let vp = Var.Set.elements (Formula.vars p) in
+  let vp_set = Formula.vars p in
+  let vp = Var.Set.elements vp_set in
   if List.length vp > 16 then
     invalid_arg "Measure.realizable_diffs: |V(P)| > 16";
   let x =
-    Var.Set.elements (Var.Set.union (Formula.vars t) (Formula.vars p))
+    Var.Set.elements (Var.Set.union (Formula.vars t) vp_set)
   in
   let y = Names.copy ~suffix:"_m" x in
   let pairs = List.combine x y in
   let t_y = Formula.rename pairs t in
-  let diff_exactly s =
-    Formula.and_
-      (List.map
-         (fun (xv, yv) ->
-           if Var.Set.mem xv s then
-             Formula.xor (Formula.var xv) (Formula.var yv)
-           else Formula.iff (Formula.var xv) (Formula.var yv))
-         pairs)
+  let s = Semantics.Session.create ~vars:x () in
+  Semantics.Session.assert_always s t_y;
+  Semantics.Session.assert_always s p;
+  let env = Semantics.Session.env s in
+  let movable =
+    List.filter_map
+      (fun (xv, yv) ->
+        if Var.Set.mem xv vp_set then
+          Some
+            ( xv,
+              Semantics.Ladder.diff_lit env
+                (Semantics.lit_of_var env xv, Semantics.lit_of_var env yv) )
+        else begin
+          (* letters outside V(P) can never move *)
+          Semantics.Session.assert_always s
+            (Formula.iff (Formula.var xv) (Formula.var yv));
+          None
+        end)
+      pairs
   in
   List.filter
-    (fun s -> Semantics.is_sat (Formula.and_ [ t_y; p; diff_exactly s ]))
+    (fun sub ->
+      let assume =
+        List.map
+          (fun (xv, d) ->
+            if Var.Set.mem xv sub then d else Satsolver.Lit.neg d)
+          movable
+      in
+      Semantics.Session.solve s ~extra:assume [])
     (Interp.subsets vp)
 
 exception No_realizable_diff

@@ -8,14 +8,6 @@ let same_model_sets a b =
   let a = norm a and b = norm b in
   List.length a = List.length b && List.for_all2 Var.Set.equal a b
 
-let same_model_sets_on alphabet a b =
-  let alpha = Interp_packed.alphabet alphabet in
-  if Interp_packed.fits alpha then
-    Interp_packed.equal_set
-      (Interp_packed.set_of_interps alpha a)
-      (Interp_packed.set_of_interps alpha b)
-  else same_model_sets a b
-
 let logically_equivalent result f =
   Revkb_obs.Obs.with_span "verify.logical" (fun () ->
       let alphabet = Revision.Result.alphabet result in
@@ -33,12 +25,25 @@ let logically_equivalent result f =
             (Models.enumerate alphabet f)
             (Revision.Result.models result))
 
+(* The candidate's projected models come out of one incremental session
+   (scoped blocking clauses, encode-once); the reference side is already
+   an explicit model list. *)
 let query_equivalent result f =
   Revkb_obs.Obs.with_span "verify.query" (fun () ->
       let alphabet = Revision.Result.alphabet result in
-      same_model_sets_on alphabet
-        (Semantics.models_sat alphabet f)
-        (Revision.Result.models result))
+      let alpha = Interp_packed.alphabet alphabet in
+      if Interp_packed.fits alpha then begin
+        let s = Semantics.Session.create ~vars:alphabet () in
+        Interp_packed.equal_set
+          (Semantics.Session.masks s alpha f)
+          (Interp_packed.set_of_interps alpha (Revision.Result.models result))
+      end
+      else begin
+        let s = Semantics.Session.create ~vars:alphabet () in
+        same_model_sets
+          (Semantics.Session.models s alphabet f)
+          (Revision.Result.models result)
+      end)
 
 let report ppf result f =
   let m = Revkb_analysis.Metrics.of_formula f in

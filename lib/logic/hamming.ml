@@ -115,7 +115,32 @@ let pointwise_diff_subset s1 s2 s3 s4 =
   in
   Formula.and_ (go s1 s2 s3 s4)
 
+(* One incremental session for the whole distance sweep: [t[X/Y]] and
+   [p] are var-disjoint, so the first (threshold-free) query of
+   [Session.min_distance] is satisfiable iff both are — the former
+   per-formula pre-checks folded into the session — and each threshold
+   after that is one assumption flip on the shared cardinality ladder
+   instead of a fresh [exa k] solver build. *)
 let min_distance_sat t p =
+  let alphabet =
+    Var.Set.elements (Var.Set.union (Formula.vars t) (Formula.vars p))
+  in
+  let ys = List.map (Var.copy_of ~suffix:"__y") alphabet in
+  let t_y = Formula.rename (List.combine alphabet ys) t in
+  let s = Semantics.Session.create ~vars:alphabet () in
+  let env = Semantics.Session.env s in
+  let pairs =
+    List.map2
+      (fun x y -> (Semantics.lit_of_var env x, Semantics.lit_of_var env y))
+      alphabet ys
+  in
+  let lad = Semantics.Ladder.of_pairs env pairs in
+  Semantics.Session.min_distance s [ t_y; p ] lad
+
+(* The pre-session sweep — one fresh solver and one [exa k] Tseitin
+   build per threshold — kept as the differential oracle and the
+   baseline side of the incremental bench. *)
+let min_distance_exa t p =
   if not (Semantics.is_sat t) then None
   else if not (Semantics.is_sat p) then None
   else begin

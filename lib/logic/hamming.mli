@@ -45,8 +45,15 @@ val pointwise_diff_subset :
 val min_distance_sat : Formula.t -> Formula.t -> int option
 (** [min_distance_sat t p] is the paper's [k_{T,P}]: the minimum Hamming
     distance between a model of [t] and a model of [p] over their joint
-    alphabet, or [None] when either formula is unsatisfiable.  Computed
-    with SAT calls on [t[X/Y] /\ p /\ EXA(k)] for increasing [k]. *)
+    alphabet, or [None] when either formula is unsatisfiable.  One
+    incremental {!Semantics.Session}: [t[X/Y] /\ p] and a shared
+    cardinality ladder are encoded once, and each threshold is an
+    assumption flip. *)
+
+val min_distance_exa : Formula.t -> Formula.t -> int option
+(** The fresh-solver sweep ([t[X/Y] /\ p /\ EXA(k)] rebuilt and
+    re-solved for each increasing [k]): the differential oracle for
+    {!min_distance_sat} and the baseline of the incremental bench. *)
 
 val exa_totalizer : int -> Var.t list -> Var.t list -> Formula.t * Var.t list
 (** Alternative [EXA] built from a totalizer (balanced-tree unary

@@ -1,5 +1,16 @@
 module S = Satsolver.Solver
 module L = Satsolver.Lit
+module Obs = Revkb_obs.Obs
+
+(* Layer-wide instrumentation.  Counters are unconditional (one atomic
+   add), so the session layer's economics — solver builds avoided,
+   encodings reused, ladder probes answered by assumption flips — are
+   always visible in a [--stats] snapshot or a [revkb trace]. *)
+let c_env_builds = Obs.counter "sem.env.builds"
+let c_clauses = Obs.counter "sem.encode.clauses"
+let c_cache_hit = Obs.counter "sem.encode.cache_hit"
+let c_reuse = Obs.counter "sem.session.reuse"
+let c_probes = Obs.counter "sem.ladder.probes"
 
 type env = {
   solver : S.t;
@@ -9,6 +20,7 @@ type env = {
 }
 
 let create () =
+  Obs.incr c_env_builds;
   {
     solver = S.create ();
     var_map = Var.Map.empty;
@@ -35,7 +47,9 @@ let lit_of_var env x =
       env.var_map <- Var.Map.add x l env.var_map;
       l
 
-let add env c = S.add_clause env.solver c
+let add env c =
+  Obs.incr c_clauses;
+  S.add_clause env.solver c
 
 let rec encode env (f : Formula.t) =
   match f with
@@ -45,7 +59,9 @@ let rec encode env (f : Formula.t) =
   | Not g -> L.neg (encode env g)
   | _ -> (
       match Hashtbl.find_opt env.memo f with
-      | Some l -> l
+      | Some l ->
+          Obs.incr c_cache_hit;
+          l
       | None ->
           let l = encode_node env f in
           Hashtbl.add env.memo f l;
@@ -108,15 +124,14 @@ let model_on env alphabet =
       if S.value env.solver (lit_of_var env x) then Var.Set.add x acc else acc)
     Var.Set.empty alphabet
 
-let block env alphabet m =
-  let clause =
-    List.map
-      (fun x ->
-        let l = lit_of_var env x in
-        if Var.Set.mem x m then L.neg l else l)
-      alphabet
-  in
-  add env clause
+let blocking_clause env alphabet m =
+  List.map
+    (fun x ->
+      let l = lit_of_var env x in
+      if Var.Set.mem x m then L.neg l else l)
+    alphabet
+
+let block env alphabet m = add env (blocking_clause env alphabet m)
 
 let mask_on env alpha =
   let mask = ref 0 in
@@ -126,34 +141,240 @@ let mask_on env alpha =
     (Interp_packed.letters alpha);
   !mask
 
-let block_mask env alpha mask =
-  let clause =
-    List.mapi
-      (fun i x ->
-        let l = lit_of_var env x in
-        if mask land (1 lsl i) <> 0 then L.neg l else l)
-      (Interp_packed.letters alpha)
-  in
-  add env clause
+let blocking_clause_mask env alpha mask =
+  List.mapi
+    (fun i x ->
+      let l = lit_of_var env x in
+      if mask land (1 lsl i) <> 0 then L.neg l else l)
+    (Interp_packed.letters alpha)
 
-let masks_sat ?(cap = 1_000_000) alpha f =
-  if not (Interp_packed.fits alpha) then
-    invalid_arg "Semantics.masks_sat: alphabet too large for masks";
-  let env = create () in
-  List.iter
-    (fun x -> ignore (lit_of_var env x))
-    (Interp_packed.letters alpha);
-  assert_formula env f;
-  let rec go acc n =
-    if n > cap then failwith "Semantics.masks_sat: cap exceeded"
-    else if solve env then begin
-      let m = mask_on env alpha in
-      block_mask env alpha m;
-      go (m :: acc) (n + 1)
-    end
-    else Interp_packed.normalize (Array.of_list acc)
-  in
-  go [] 0
+let block_mask env alpha mask = add env (blocking_clause_mask env alpha mask)
+
+(* -- cardinality ladder -------------------------------------------------
+
+   One sequential-counter encoding (Sinz-style, both directions) whose
+   threshold outputs are plain solver literals: "at least j of the diff
+   bits are set", for every j at once.  A distance probe is then a
+   single assumption flip on an already-loaded solver, instead of a
+   fresh [Hamming.exa k] Tseitin build per threshold. *)
+
+module Ladder = struct
+  type t = {
+    ge : L.t array; (* ge.(j-1): at least j diff bits set *)
+    width : int;
+    tl : L.t; (* the env's true literal, for the trivial thresholds *)
+  }
+
+  let diff_lit env (a, b) =
+    let d = fresh_lit env in
+    add env [ L.neg d; a; b ];
+    add env [ L.neg d; L.neg a; L.neg b ];
+    add env [ d; L.neg a; b ];
+    add env [ d; a; L.neg b ];
+    d
+
+  (* Full biconditional counter s_{i,j} <-> s_{i-1,j} \/ (d_i /\
+     s_{i-1,j-1}).  Boundary cells are the env's true/false literal;
+     [add] simplifies those clauses away (true_lit is unit at level 0),
+     so no special-casing is needed here.  Size: n(n+1)/2 auxiliaries,
+     at most 4 clauses each — O(n^2) clauses for all n+1 thresholds,
+     versus O(n * k) for a single-threshold [Hamming.exa k]. *)
+  let of_lits env ds =
+    let ds = Array.of_list ds in
+    let n = Array.length ds in
+    let tl = true_lit env in
+    let prev = Array.make (n + 1) (L.neg tl) in
+    prev.(0) <- tl;
+    for i = 1 to n do
+      let cur = Array.make (n + 1) (L.neg tl) in
+      cur.(0) <- tl;
+      for j = 1 to i do
+        let sij = fresh_lit env in
+        let d = ds.(i - 1) in
+        add env [ L.neg prev.(j); sij ];
+        add env [ L.neg d; L.neg prev.(j - 1); sij ];
+        add env [ L.neg sij; prev.(j); d ];
+        add env [ L.neg sij; prev.(j); prev.(j - 1) ];
+        cur.(j) <- sij
+      done;
+      Array.blit cur 0 prev 0 (n + 1)
+    done;
+    { ge = Array.init n (fun j -> prev.(j + 1)); width = n; tl }
+
+  let of_pairs env pairs = of_lits env (List.map (diff_lit env) pairs)
+  let width t = t.width
+
+  let at_least t k =
+    if k <= 0 then t.tl
+    else if k > t.width then L.neg t.tl
+    else t.ge.(k - 1)
+
+  let at_most t k = L.neg (at_least t (k + 1))
+  let exactly t k = [ at_least t k; at_most t k ]
+
+  (* A pinnable comparison vector: the Y side of the distance is a row
+     of otherwise-unconstrained selector literals, so one ladder serves
+     every reference point N — pinning Y := N is an assumption list, not
+     an encoding. *)
+  type pinned = { lad : t; ys : L.t array; letters : Var.t array }
+
+  let against env alphabet =
+    let letters = Array.of_list alphabet in
+    let ys = Array.map (fun _ -> fresh_lit env) letters in
+    let ds =
+      Array.to_list
+        (Array.mapi
+           (fun i x -> diff_lit env (lit_of_var env x, ys.(i)))
+           letters)
+    in
+    { lad = of_lits env ds; ys; letters }
+
+  let ladder p = p.lad
+
+  let pin p n =
+    Array.to_list
+      (Array.mapi
+         (fun i x -> if Var.Set.mem x n then p.ys.(i) else L.neg p.ys.(i))
+         p.letters)
+
+  let pin_mask p mask =
+    Array.to_list
+      (Array.mapi
+         (fun i _ ->
+           if mask land (1 lsl i) <> 0 then p.ys.(i) else L.neg p.ys.(i))
+         p.letters)
+end
+
+(* -- incremental sessions -----------------------------------------------
+
+   A session keeps one solver (and its encode-once memo table) alive
+   across many queries.  Queries activate formulas through assumptions
+   on their Tseitin literals — the encoding is polarity-complete
+   (biconditional), so assuming a root literal in either polarity is
+   exact — and clause groups that must not outlive a query are tagged
+   with a selector ("activation") literal: the clause [~sel \/ C] is
+   inert unless [sel] is assumed, and [retire] (unit [~sel]) ends the
+   group's life permanently. *)
+
+module Session = struct
+  type scope = L.t
+
+  type stats = { queries : int; scopes_retired : int }
+
+  type t = {
+    env : env;
+    mutable queries : int;
+    mutable scopes_retired : int;
+  }
+
+  let make env = { env; queries = 0; scopes_retired = 0 }
+
+  let create ?(vars = []) () =
+    let env = create () in
+    List.iter (fun x -> ignore (lit_of_var env x)) vars;
+    make env
+
+  let env s = s.env
+  let stats s = { queries = s.queries; scopes_retired = s.scopes_retired }
+  let declare s xs = List.iter (fun x -> ignore (lit_of_var s.env x)) xs
+  let assert_always s f = assert_formula s.env f
+
+  (* Assumption literals activating [f]: one per top-level conjunct, so
+     unit facts stay unit assumptions and no root auxiliary is built for
+     the conjunction itself.  Encoding is memoized — the second query on
+     the same formula costs only the memo lookups. *)
+  let premise s f =
+    let rec go acc (f : Formula.t) =
+      match f with
+      | And gs -> List.fold_left go acc gs
+      | f -> encode s.env f :: acc
+    in
+    List.rev (go [] f)
+
+  let solve ?(scopes = []) ?(extra = []) s fs =
+    s.queries <- s.queries + 1;
+    if s.queries > 1 then Obs.incr c_reuse;
+    let assumptions = List.concat_map (premise s) fs @ extra @ scopes in
+    Obs.with_span "sem.query" (fun () -> solve ~assumptions s.env)
+
+  let model_on s alphabet = model_on s.env alphabet
+  let mask_on s alpha = mask_on s.env alpha
+  let new_scope s = fresh_lit s.env
+  let scoped_clause s sel c = add s.env (L.neg sel :: c)
+
+  let block s sel alphabet m =
+    scoped_clause s sel (blocking_clause s.env alphabet m)
+
+  let block_mask s sel alpha mask =
+    scoped_clause s sel (blocking_clause_mask s.env alpha mask)
+
+  let retire s sel =
+    s.scopes_retired <- s.scopes_retired + 1;
+    add s.env [ L.neg sel ]
+
+  let with_retractable s k =
+    let sel = new_scope s in
+    Fun.protect ~finally:(fun () -> retire s sel) (fun () -> k sel)
+
+  (* Distance probes: satisfiability of [fs] with at most [k] ladder
+     diff bits set is one assumption flip. *)
+  let within ?(assume = []) s fs lad k =
+    Obs.incr c_probes;
+    solve s ~extra:(Ladder.at_most lad k :: assume) fs
+
+  let min_distance ?(assume = []) s fs lad =
+    (* The unconstrained solve doubles as the satisfiability pre-check:
+       [fs] is encoded exactly once, and when it is satisfiable the
+       upward sweep below must terminate at or before the ladder
+       width. *)
+    if not (solve s ~extra:assume fs) then None
+    else
+      let rec probe k =
+        if within ~assume s fs lad k then Some k else probe (k + 1)
+      in
+      probe 0
+
+  let closer_than ?(assume = []) s fs lad d =
+    d > 0 && within ~assume s fs lad (d - 1)
+
+  (* Scoped model enumeration: blocking clauses are tagged with a fresh
+     selector and retired afterwards, so one session can enumerate
+     several formulas in turn without the blocking clauses of one
+     poisoning the next. *)
+  let models ?(cap = 1_000_000) s alphabet f =
+    declare s alphabet;
+    with_retractable s (fun scope ->
+        let rec go acc n =
+          if n > cap then failwith "Semantics.models_sat: cap exceeded"
+          else if solve s ~scopes:[ scope ] [ f ] then begin
+            let m = model_on s alphabet in
+            block s scope alphabet m;
+            go (m :: acc) (n + 1)
+          end
+          else List.rev acc
+        in
+        go [] 0)
+
+  let masks ?(cap = 1_000_000) s alpha f =
+    if not (Interp_packed.fits alpha) then
+      invalid_arg "Semantics.masks_sat: alphabet too large for masks";
+    declare s (Interp_packed.letters alpha);
+    with_retractable s (fun scope ->
+        let rec go acc n =
+          if n > cap then failwith "Semantics.masks_sat: cap exceeded"
+          else if solve s ~scopes:[ scope ] [ f ] then begin
+            let m = mask_on s alpha in
+            block_mask s scope alpha m;
+            go (m :: acc) (n + 1)
+          end
+          else Interp_packed.normalize (Array.of_list acc)
+        in
+        go [] 0)
+end
+
+let masks_sat ?cap alpha f =
+  let s = Session.create ~vars:(Interp_packed.letters alpha) () in
+  Session.masks ?cap s alpha f
 
 let is_sat_cdcl f =
   let env = create () in
@@ -166,7 +387,7 @@ let is_sat_cdcl f =
    fails over to CDCL on any other shape.  The cdcl counter completes
    the routing picture the fragment counters start: together they say
    what share of is_sat queries ever built a solver. *)
-let route_cdcl = Revkb_obs.Obs.counter "sat.route.cdcl"
+let route_cdcl = Obs.counter "sat.route.cdcl"
 
 let is_sat f =
   match Clausal.decide_sat f with
@@ -174,32 +395,44 @@ let is_sat f =
       Clausal.record_hit route;
       answer
   | None ->
-      Revkb_obs.Obs.incr route_cdcl;
+      Obs.incr route_cdcl;
       is_sat_cdcl f
 
 let is_valid f = not (is_sat (Formula.not_ f))
-let entails a b = not (is_sat (Formula.conj2 a (Formula.not_ b)))
-let equiv a b = entails a b && entails b a
 
-let models_sat ?(cap = 1_000_000) alphabet f =
-  let env = create () in
-  (* Allocate alphabet letters before solving so the model projection is
-     meaningful even for letters absent from the formula. *)
-  List.iter (fun x -> ignore (lit_of_var env x)) alphabet;
-  assert_formula env f;
-  let rec go acc n =
-    if n > cap then failwith "Semantics.models_sat: cap exceeded"
-    else if solve env then begin
-      let m = model_on env alphabet in
-      block env alphabet m;
-      go (m :: acc) (n + 1)
-    end
-    else List.rev acc
-  in
-  go [] 0
+(* Entailment and equivalence route each direction through the clausal
+   fast path first (an entailment query can still be a Horn CNF), and
+   fall back to a session that both CDCL directions of [equiv] share:
+   [a] and [b] are Tseitin-encoded once and the second direction is two
+   assumption literals on the same solver. *)
+let entails_in s a b =
+  not (Session.solve s ~extra:[ L.neg (encode (Session.env s) b) ] [ a ])
+
+let direction session a b =
+  match Clausal.decide_sat (Formula.conj2 a (Formula.not_ b)) with
+  | Some (answer, route) ->
+      Clausal.record_hit route;
+      not answer
+  | None ->
+      Obs.incr route_cdcl;
+      entails_in (Lazy.force session) a b
+
+let entails a b = direction (lazy (Session.make (create ()))) a b
+
+let equiv a b =
+  let session = lazy (Session.make (create ())) in
+  direction session a b && direction session b a
+
+let models_sat ?cap alphabet f =
+  let s = Session.create ~vars:alphabet () in
+  Session.models ?cap s alphabet f
 
 let query_equivalent alphabet a b =
-  let ma = models_sat alphabet a and mb = models_sat alphabet b in
+  (* One session for both enumerations: shared letter literals, shared
+     subterm encodings, and each enumeration's blocking clauses retired
+     before the next starts. *)
+  let s = Session.create ~vars:alphabet () in
+  let ma = Session.models s alphabet a and mb = Session.models s alphabet b in
   let norm = List.sort_uniq Var.Set.compare in
   let la = norm ma and lb = norm mb in
   List.length la = List.length lb && List.for_all2 Var.Set.equal la lb

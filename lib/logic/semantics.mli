@@ -5,8 +5,20 @@
     occurrence, which is transparent here: queries and models are always
     phrased in terms of formula letters.
 
-    Use {!env} for incremental work (model enumeration with blocking
-    clauses); the convenience predicates spin up a throwaway solver. *)
+    Use {!Session} for incremental work: one solver and one encode-once
+    memo table survive across queries, queries activate formulas through
+    assumptions on their (polarity-complete) Tseitin literals, and
+    clause groups that must not outlive a query — blocking clauses, CEGAR
+    refinements — are tagged with selector ("activation") literals and
+    retired with one unit clause.  The raw {!env} remains the low-level
+    substrate.  The convenience predicates spin up a throwaway solver
+    (after the {!Clausal} linear-time fast path).
+
+    Instrumentation ({!Revkb_obs}): [sem.env.builds] counts solver
+    constructions, [sem.encode.clauses] encoded clauses,
+    [sem.encode.cache_hit] memo hits, [sem.session.reuse] queries that
+    reused a live session solver, [sem.ladder.probes] cardinality-ladder
+    threshold probes; every session query runs in a [sem.query] span. *)
 
 type env
 
@@ -31,6 +43,143 @@ val block : env -> Var.t list -> Interp.t -> unit
     interpretation: the blocking clause of projected model
     enumeration. *)
 
+(** {1 Cardinality ladder}
+
+    A sequential-counter encoding of the Hamming distance between two
+    literal vectors whose {e every} threshold is a solver literal:
+    [at_least j] for [j = 0 .. n] out of one linear-size (O(n^2) clause,
+    n(n+1)/2 auxiliary) build.  A distance probe ["distance <= k?"] is
+    then a single assumption flip on a live solver, where the per-[k]
+    [Hamming.exa] path re-Tseitins an O(n*k) formula into a fresh solver
+    for every threshold. *)
+
+module Ladder : sig
+  type t
+
+  val of_lits : env -> Satsolver.Lit.t list -> t
+  (** Counter over the given "difference bit" literals directly. *)
+
+  val of_pairs : env -> (Satsolver.Lit.t * Satsolver.Lit.t) list -> t
+  (** Counter over [a_i XOR b_i] difference bits (4 clauses per pair). *)
+
+  val diff_lit : env -> Satsolver.Lit.t * Satsolver.Lit.t -> Satsolver.Lit.t
+  (** The difference bit alone: a literal equivalent to [a XOR b].
+      Assuming it forces disagreement, assuming its negation forces
+      agreement — the building block for sweeps over difference sets. *)
+
+  val width : t -> int
+
+  val at_least : t -> int -> Satsolver.Lit.t
+  (** Literal true iff at least [k] difference bits are set.  [k <= 0]
+      is the true literal, [k > width] the false one. *)
+
+  val at_most : t -> int -> Satsolver.Lit.t
+  val exactly : t -> int -> Satsolver.Lit.t list
+  (** Assumption pair [at_least k; at_most k]. *)
+
+  (** A pinnable comparison vector: the Y side of the distance is a row
+      of otherwise-unconstrained literals, so one ladder measures the
+      distance to {e any} reference point — pinning Y := N is an
+      assumption list, not a new encoding. *)
+  type pinned
+
+  val against : env -> Var.t list -> pinned
+  (** Fresh Y literals paired with the letters' literals, diff bits, and
+      the full ladder, all encoded once. *)
+
+  val ladder : pinned -> t
+
+  val pin : pinned -> Interp.t -> Satsolver.Lit.t list
+  (** Assumptions setting Y to the interpretation (over the [against]
+      alphabet, in its order). *)
+
+  val pin_mask : pinned -> int -> Satsolver.Lit.t list
+  (** Mask-level {!pin}; bit [i] is letter [i] of the [against] list. *)
+end
+
+(** {1 Incremental sessions} *)
+
+module Session : sig
+  type t
+
+  type scope = Satsolver.Lit.t
+  (** A selector (activation) literal guarding a retractable clause
+      group. *)
+
+  type stats = { queries : int; scopes_retired : int }
+
+  val create : ?vars:Var.t list -> unit -> t
+  (** Fresh session: one solver, one memo table, for many queries.
+      [vars] pre-allocates letter literals (as {!declare}). *)
+
+  val env : t -> env
+  (** The underlying incremental environment. *)
+
+  val stats : t -> stats
+  val declare : t -> Var.t list -> unit
+
+  val assert_always : t -> Formula.t -> unit
+  (** Permanent assertion: constrains every later query. *)
+
+  val premise : t -> Formula.t -> Satsolver.Lit.t list
+  (** Assumption literals activating the formula for one query: one per
+      top-level conjunct, encoded once (memoized). *)
+
+  val solve :
+    ?scopes:scope list ->
+    ?extra:Satsolver.Lit.t list ->
+    t ->
+    Formula.t list ->
+    bool
+  (** Satisfiability of the permanent assertions, the given formulas
+      (each activated via {!premise}), any [extra] assumption literals,
+      and the clause groups of the activated [scopes]. *)
+
+  val model_on : t -> Var.t list -> Interp.t
+  val mask_on : t -> Interp_packed.alphabet -> Interp_packed.t
+
+  val new_scope : t -> scope
+  (** Fresh selector literal.  Clauses added under it ({!block},
+      {!block_mask}) bind only queries that activate the scope. *)
+
+  val block : t -> scope -> Var.t list -> Interp.t -> unit
+  val block_mask : t -> scope -> Interp_packed.alphabet -> Interp_packed.t -> unit
+
+  val retire : t -> scope -> unit
+  (** Permanently deactivate the scope (unit clause on the negated
+      selector): its clauses can never constrain a query again. *)
+
+  val with_retractable : t -> (scope -> 'a) -> 'a
+  (** Run with a fresh scope, retiring it afterwards (also on
+      exceptions): push/pop for clause groups. *)
+
+  val within :
+    ?assume:Satsolver.Lit.t list -> t -> Formula.t list -> Ladder.t -> int -> bool
+  (** [within s fs lad k]: satisfiable with at most [k] ladder diff bits
+      set?  One assumption flip ([sem.ladder.probes]). *)
+
+  val min_distance :
+    ?assume:Satsolver.Lit.t list -> t -> Formula.t list -> Ladder.t -> int option
+  (** Smallest [k] with [within s fs lad k], or [None] when [fs] (with
+      [assume]) is unsatisfiable.  The unsatisfiability pre-check is the
+      first, threshold-free query of the same session, so the formulas
+      are encoded exactly once for the whole sweep. *)
+
+  val closer_than :
+    ?assume:Satsolver.Lit.t list -> t -> Formula.t list -> Ladder.t -> int -> bool
+  (** [closer_than s fs lad d]: is there a model at distance strictly
+      below [d]?  [false] when [d <= 0]; otherwise one probe. *)
+
+  val models : ?cap:int -> t -> Var.t list -> Formula.t -> Interp.t list
+  (** Projected model enumeration inside the session: blocking clauses
+      live in a retractable scope, so several enumerations can share one
+      session without contaminating each other. *)
+
+  val masks :
+    ?cap:int -> t -> Interp_packed.alphabet -> Formula.t -> Interp_packed.set
+  (** Packed {!models}. *)
+end
+
 (** {1 One-shot queries} *)
 
 val is_sat : Formula.t -> bool
@@ -43,8 +192,15 @@ val is_sat_cdcl : Formula.t -> bool
     solve.  The differential oracle for the fast path's tests. *)
 
 val is_valid : Formula.t -> bool
+
 val entails : Formula.t -> Formula.t -> bool
+(** Each direction consults the clausal fast path on the conjunction
+    [a /\ ~b]; the CDCL fallback activates [a] and [~b] by assumption
+    instead of re-Tseitining a negated rebuild. *)
+
 val equiv : Formula.t -> Formula.t -> bool
+(** Both CDCL directions share one session: the second direction reuses
+    the first's encodings and learned clauses. *)
 
 val mask_on : env -> Interp_packed.alphabet -> Interp_packed.t
 (** Projection of the last model onto a packed alphabet, as a mask. *)
@@ -72,4 +228,5 @@ val models_sat : ?cap:int -> Var.t list -> Formula.t -> Interp.t list
 val query_equivalent : Var.t list -> Formula.t -> Formula.t -> bool
 (** [query_equivalent alphabet a b]: do [a] and [b] have the same
     consequences over the alphabet (criterion (1) of the paper)?  Decided
-    by comparing projected model sets. *)
+    by comparing projected model sets, both enumerated on one shared
+    session (scoped blocking clauses, shared encodings). *)

@@ -188,7 +188,8 @@ let test_reset () =
 
 let golden_snapshot =
   {
-    Obs.counters = [ ("t.alpha", 3); ("t.beta", 0) ];
+    Obs.counters =
+      [ ("sem.ladder.probes", 7); ("t.alpha", 3); ("t.beta", 0) ];
     hists =
       [
         ( "t.h",
@@ -218,6 +219,7 @@ let test_export_table () =
   let has = Helpers.contains_substring out in
   check_bool "counters section" true (has "== counters ==");
   check_bool "nonzero counter shown" true (has "t.alpha");
+  check_bool "session counter shown" true (has "sem.ladder.probes");
   check_bool "zero counter elided" false (has "t.beta");
   check_bool "histogram row" true (has "count=2 sum=1030 min=6 max=1024");
   check_bool "span row" true (has "total=3.0ms min=1.0ms max=2.0ms");
@@ -225,7 +227,9 @@ let test_export_table () =
 
 let test_export_json_lines () =
   check_str "json lines golden"
-    ("{\"type\": \"counter\", \"name\": \"t.alpha\", \"value\": 3}\n"
+    ("{\"type\": \"counter\", \"name\": \"sem.ladder.probes\", \"value\": \
+      7}\n"
+   ^ "{\"type\": \"counter\", \"name\": \"t.alpha\", \"value\": 3}\n"
    ^ "{\"type\": \"counter\", \"name\": \"t.beta\", \"value\": 0}\n"
    ^ "{\"type\": \"histogram\", \"name\": \"t.h\", \"count\": 2, \"sum\": \
       1030, \"min\": 6, \"max\": 1024}\n"

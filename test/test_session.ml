@@ -1,0 +1,220 @@
+(* Incremental SAT sessions: differential tests of the shared
+   cardinality ladder against the per-k EXA encodings, the session
+   retract (activation-literal) discipline, and determinism of the
+   session-backed checkers across job counts. *)
+
+open Logic
+open Helpers
+module Session = Semantics.Session
+module Ladder = Semantics.Ladder
+module Check = Compact.Check
+module MB = Revision.Model_based
+module Pool = Revkb_parallel.Pool
+
+(* Build the standard min-distance setup on one session: [t] renamed to
+   fresh letters, [p] on the originals, one ladder over the pairs. *)
+let distance_session t _p x =
+  let ys = List.map (Var.copy_of ~suffix:"__z") x in
+  let t_y = Formula.rename (List.combine x ys) t in
+  let s = Session.create ~vars:x () in
+  let env = Session.env s in
+  let pairs =
+    List.map2
+      (fun a b -> (Semantics.lit_of_var env a, Semantics.lit_of_var env b))
+      x ys
+  in
+  (s, t_y, ys, Ladder.of_pairs env pairs)
+
+(* -- ladder vs EXA ------------------------------------------------------- *)
+
+(* For every threshold k on alphabets up to n = 8: "exactly k" by ladder
+   assumptions on a live session is equisatisfiable with a fresh
+   [Hamming.exa k] build, and with the auxiliary-free [exa_direct]. *)
+let ladder_matches_exa n =
+  let x = letters n in
+  qtest
+    (Printf.sprintf "ladder = exa = exa_direct, every k (n=%d)" n)
+    ~count:40
+    (arb_pair (arb_formula x) (arb_formula x))
+    (fun (t, p) ->
+      let s, t_y, ys, lad = distance_session t p x in
+      List.for_all
+        (fun k ->
+          let sess =
+            Session.solve s ~extra:(Ladder.exactly lad k) [ t_y; p ]
+          in
+          let exa_k, _ = Hamming.exa k x ys in
+          let exa = Semantics.is_sat (Formula.and_ [ t_y; p; exa_k ]) in
+          let direct =
+            Semantics.is_sat
+              (Formula.and_ [ t_y; p; Hamming.exa_direct k x ys ])
+          in
+          sess = exa && exa = direct)
+        (List.init (n + 1) Fun.id))
+
+(* [within] ("at most k") is monotone in k on a shared session. *)
+let prop_within_monotone =
+  let x = letters 6 in
+  qtest "within monotone in k" ~count:100
+    (arb_pair (arb_formula x) (arb_formula x))
+    (fun (t, p) ->
+      let s, t_y, _, lad = distance_session t p x in
+      let probes =
+        List.init 7 (fun k -> Session.within s [ t_y; p ] lad k)
+      in
+      fst
+        (List.fold_left
+           (fun (ok, prev) b -> (ok && ((not prev) || b), b))
+           (true, false) probes))
+
+let prop_min_distance_matches_exa =
+  let x = letters 6 in
+  qtest "min_distance_sat = min_distance_exa" ~count:150
+    (arb_pair (arb_formula x) (arb_formula x))
+    (fun (t, p) ->
+      Hamming.min_distance_sat t p = Hamming.min_distance_exa t p)
+
+let prop_dist_to_matches_fresh =
+  let x = letters 6 in
+  qtest "Check.dist_to = Check.Fresh.dist_to" ~count:150
+    (arb_pair (arb_formula x) (arb_interp x))
+    (fun (fm, n) -> Check.dist_to fm n x = Check.Fresh.dist_to fm n x)
+
+(* The reusable prober answers every reference point like one-shot
+   [dist_to] does. *)
+let prop_dist_prober_reusable =
+  let x = letters 5 in
+  qtest "Dist prober = dist_to on every reference" ~count:80
+    (arb_formula x)
+    (fun fm ->
+      let d = Check.Dist.create fm x in
+      List.for_all
+        (fun n -> Check.Dist.to_interp d n = Check.Fresh.dist_to fm n x)
+        (Interp.subsets x))
+
+(* -- session-backed checkers vs the fresh-solver oracle ------------------- *)
+
+let prop_model_check_matches_fresh =
+  let x = letters 5 in
+  qtest "model_check = Fresh.model_check (all ops)" ~count:60
+    (arb_triple (arb_sat_formula x) (arb_sat_formula x) (arb_interp x))
+    (fun (t, p, n) ->
+      List.for_all
+        (fun op ->
+          Check.model_check op t p n = Check.Fresh.model_check op t p n)
+        MB.all)
+
+(* The sessionized diff sweep in Measure agrees with the formula-level
+   per-subset oracle it replaced. *)
+let prop_measure_matches_formula_oracle =
+  let x = letters 4 in
+  qtest "realizable_diffs = per-subset formula oracle" ~count:80
+    (arb_pair (arb_sat_formula x) (arb_sat_formula x))
+    (fun (t, p) ->
+      let diffs = Compact.Measure.realizable_diffs t p in
+      let vp = Var.Set.elements (Formula.vars p) in
+      let xs =
+        Var.Set.elements (Var.Set.union (Formula.vars t) (Formula.vars p))
+      in
+      let ys = List.map (Var.copy_of ~suffix:"__m2") xs in
+      let pairs = List.combine xs ys in
+      let t_y = Formula.rename pairs t in
+      let diff_exactly sset =
+        Formula.and_
+          (List.map
+             (fun (xv, yv) ->
+               if Var.Set.mem xv sset then
+                 Formula.xor (Formula.var xv) (Formula.var yv)
+               else Formula.iff (Formula.var xv) (Formula.var yv))
+             pairs)
+      in
+      let oracle =
+        List.filter
+          (fun sset ->
+            Semantics.is_sat (Formula.and_ [ t_y; p; diff_exactly sset ]))
+          (Interp.subsets vp)
+      in
+      same_models diffs oracle)
+
+(* -- retract discipline --------------------------------------------------- *)
+
+let test_session_retract () =
+  let ab = [ Var.named "a"; Var.named "b" ] in
+  let s = Session.create ~vars:ab () in
+  Session.assert_always s (f "a | b");
+  check_bool "initial SAT" true (Session.solve s []);
+  let sc = Session.new_scope s in
+  List.iter
+    (fun m -> Session.block s sc ab m)
+    [ interp_of_string "a"; interp_of_string "b"; interp_of_string "a,b" ];
+  check_bool "UNSAT under the blocking scope" false
+    (Session.solve s ~scopes:[ sc ] []);
+  check_bool "scope not activated: still SAT" true (Session.solve s []);
+  Session.retire s sc;
+  check_bool "after retract: SAT" true (Session.solve s []);
+  let ({ queries; scopes_retired } : Session.stats) = Session.stats s in
+  check_int "queries counted" 4 queries;
+  check_int "scopes retired" 1 scopes_retired
+
+(* Two enumerations on one session must not contaminate each other: the
+   blocking clauses of the first live in a retired scope. *)
+let test_session_models_isolated () =
+  let ab = [ Var.named "a"; Var.named "b" ] in
+  let s = Session.create ~vars:ab () in
+  let m1 = Session.models s ab (f "a | b") in
+  let m2 = Session.models s ab (f "a | b") in
+  check_bool "same model set both times" true (same_models m1 m2);
+  check_int "three models" 3 (List.length m2);
+  check_int "next formula unaffected" 1
+    (List.length (Session.models s ab (f "a & b")))
+
+(* -- satellite: the CEGAR cap failure names cap, operator, alphabet ------- *)
+
+let test_cegar_cap_message () =
+  (* t = a xor b: both witnesses are refuted for n = {a,b}, so any cap
+     below 1 must trip on the first refinement regardless of which
+     witness the solver produces first. *)
+  let t = f "(a & ~b) | (~a & b)" and p = f "a | b" in
+  let n = interp_of_string "a,b" in
+  match Check.model_check ~cegar_cap:0 MB.Winslett t p n with
+  | exception Failure msg ->
+      check_bool "mentions cap" true (contains_substring msg "cap=0");
+      check_bool "mentions op" true (contains_substring msg "op=winslett");
+      check_bool "mentions alphabet" true
+        (contains_substring msg "2-letter alphabet")
+  | _ -> Alcotest.fail "expected CEGAR cap failure"
+
+(* -- bit-identical across job counts -------------------------------------- *)
+
+let test_jobs_deterministic () =
+  let t = f "(x1 | x2) & (x3 -> x4 | x5) & (~x1 | x3)" in
+  let p = f "(~x2 | x5) & (x1 | x4)" in
+  let ns = Interp.subsets (letters 5) in
+  List.iter
+    (fun op ->
+      let r1 = Pool.with_jobs 1 (fun () -> Check.model_check_batch op t p ns) in
+      let r4 = Pool.with_jobs 4 (fun () -> Check.model_check_batch op t p ns) in
+      check_bool (MB.name op ^ ": jobs=1 equals jobs=4") true (r1 = r4))
+    MB.all
+
+let () =
+  Alcotest.run "session"
+    [
+      ( "ladder",
+        List.init 6 (fun i -> ladder_matches_exa (i + 3))
+        @ [ prop_within_monotone; prop_min_distance_matches_exa ] );
+      ( "probers",
+        [ prop_dist_to_matches_fresh; prop_dist_prober_reusable ] );
+      ( "checkers",
+        [ prop_model_check_matches_fresh; prop_measure_matches_formula_oracle ]
+      );
+      ( "sessions",
+        [
+          Alcotest.test_case "retract SAT/UNSAT/SAT" `Quick
+            test_session_retract;
+          Alcotest.test_case "scoped enumerations isolated" `Quick
+            test_session_models_isolated;
+          Alcotest.test_case "CEGAR cap message" `Quick test_cegar_cap_message;
+          Alcotest.test_case "jobs=1 = jobs=4" `Quick test_jobs_deterministic;
+        ] );
+    ]
