@@ -5,7 +5,7 @@
      dune exec bench/main.exe -- SECTION…  # run selected sections
 
    Sections: examples figure1 explosion table1 table2 size_audit postulates
-   compilation timing parallel incremental *)
+   compilation timing parallel incremental boundary *)
 
 let sections =
   [
@@ -20,6 +20,7 @@ let sections =
     ("timing", Timing.run);
     ("parallel", Parallel_bench.run);
     ("incremental", Incremental.run);
+    ("boundary", Boundary.run);
   ]
 
 let () =

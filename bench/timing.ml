@@ -228,16 +228,43 @@ let run () =
                        ~jobs:(Revkb_parallel.Pool.default_jobs ())
                        ~wall_ms:(packed_ns /. 1e6)
                        ~speedup:(legacy_ns /. packed_ns) ();
-                   [
-                     base;
-                     human legacy_ns;
-                     human packed_ns;
-                     Printf.sprintf "%.1fx" (legacy_ns /. packed_ns);
-                   ]))
+                   (base, legacy_ns, packed_ns)))
       rows
   in
   if speedups <> [] then begin
     Report.subsection "packed engine vs legacy list engine";
-    Report.table [ "instance"; "legacy"; "packed"; "speedup" ] speedups
+    Report.table
+      [ "instance"; "legacy"; "packed"; "speedup" ]
+      (List.map
+         (fun (base, legacy_ns, packed_ns) ->
+           [
+             base;
+             human legacy_ns;
+             human packed_ns;
+             Printf.sprintf "%.1fx" (legacy_ns /. packed_ns);
+           ])
+         speedups)
+  end;
+  (* Regression gate for the one-word fast path: these instances all fit
+     one word, and the packed engine historically beats the list engine
+     by an order of magnitude.  A speedup below 0.9 means the packed
+     path got >10% slower than the legacy baseline — way outside
+     measurement noise at that margin — so fail the bench loudly rather
+     than let the artifact quietly record the regression. *)
+  let regressions =
+    List.filter
+      (fun (_, legacy_ns, packed_ns) -> legacy_ns /. packed_ns < 0.9)
+      speedups
+  in
+  if regressions <> [] then begin
+    List.iter
+      (fun (base, legacy_ns, packed_ns) ->
+        Printf.eprintf
+          "timing: one-word packed path regressed on %s: %.2fx vs legacy \
+           (threshold 0.9x)\n"
+          base (legacy_ns /. packed_ns))
+      regressions;
+    Json_out.write ();
+    exit 1
   end;
   Json_out.write ()

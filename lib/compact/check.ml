@@ -32,6 +32,10 @@ module Dist = struct
     Session.min_distance d.s ~assume:(Ladder.pin_mask d.pv m) d.fs
       (Ladder.ladder d.pv)
 
+  let to_mask_wide d m =
+    Session.min_distance d.s ~assume:(Ladder.pin_mask_wide d.pv m) d.fs
+      (Ladder.ladder d.pv)
+
   (* Model of [fs] strictly closer to the reference than [k]?  A single
      probe — the exact minimum is never needed for the CEGAR refutes. *)
   let closer_than_interp d n k =
@@ -40,6 +44,10 @@ module Dist = struct
 
   let closer_than_mask d m k =
     Session.closer_than d.s ~assume:(Ladder.pin_mask d.pv m) d.fs
+      (Ladder.ladder d.pv) k
+
+  let closer_than_mask_wide d m k =
+    Session.closer_than d.s ~assume:(Ladder.pin_mask_wide d.pv m) d.fs
       (Ladder.ladder d.pv) k
 end
 
@@ -80,32 +88,8 @@ let witness_loop ctx s t scope ~model ~block ~refutes =
 (* Is there a model of [p] strictly closer (inclusion-wise) to [m] than
    [n] is?  One query on the shared session: the agreement pin is pure
    assumption literals (premise of a literal conjunction), the strict
-   part one memoized disjunction. *)
-let closer_by_inclusion_in s p alphabet m n =
-  let d = Interp.sym_diff m n in
-  if Var.Set.is_empty d then false
-  else begin
-    let agree =
-      Formula.and_
-        (List.filter_map
-           (fun x ->
-             if Var.Set.mem x d then None
-             else Some (Formula.lit (Var.Set.mem x m) x))
-           alphabet)
-    in
-    let strictly_inside =
-      Formula.or_
-        (List.map
-           (fun x ->
-             (* N' agrees with m on some letter of the difference *)
-             Formula.lit (Var.Set.mem x m) x)
-           (Var.Set.elements d))
-    in
-    Session.solve s [ p; agree; strictly_inside ]
-  end
-
-(* Mask variant: the difference is one [lxor], and the pin/strict
-   formulas read bits instead of set membership. *)
+   part one memoized disjunction.  The difference is one [lxor], and the
+   pin/strict formulas read bits instead of set membership. *)
 let closer_by_inclusion_packed_in s p alpha m n =
   let d = m lxor n in
   if d = 0 then false
@@ -132,6 +116,33 @@ let closer_by_inclusion_packed_in s p alpha m n =
     Session.solve s [ p; agree; strictly_inside ]
   end
 
+(* Multi-word variant: same two formulas, bits read through
+   [Interp_wide.test]. *)
+let closer_by_inclusion_wide_in s p alpha m n =
+  let d = Interp_wide.lxor_ m n in
+  if Interp_wide.is_zero d then false
+  else begin
+    let bits = List.mapi (fun i x -> (i, x)) (Interp_packed.letters alpha) in
+    let agree =
+      Formula.and_
+        (List.filter_map
+           (fun (i, x) ->
+             if Interp_wide.test d i then None
+             else Some (Formula.lit (Interp_wide.test m i) x))
+           bits)
+    in
+    let strictly_inside =
+      Formula.or_
+        (List.filter_map
+           (fun (i, x) ->
+             if Interp_wide.test d i then
+               Some (Formula.lit (Interp_wide.test m i) x)
+             else None)
+           bits)
+    in
+    Session.solve s [ p; agree; strictly_inside ]
+  end
+
 (* The pointwise checks.  Each builds one session carrying: [t]'s
    witness enumeration (scoped blocking), [p]'s refutation probes, and
    for Forbus the shared pinnable cardinality ladder over [p]. *)
@@ -146,11 +157,13 @@ let winslett_in ctx s t p alphabet n =
       ~block:(fun m -> Session.block_mask s scope alpha m)
       ~refutes:(fun m -> closer_by_inclusion_packed_in s p alpha m nm)
   end
-  else
+  else begin
+    let nm = Interp_wide.pack alpha n in
     witness_loop ctx s t scope
-      ~model:(fun () -> Session.model_on s alphabet)
-      ~block:(fun m -> Session.block s scope alphabet m)
-      ~refutes:(fun m -> closer_by_inclusion_in s p alphabet m n)
+      ~model:(fun () -> Session.mask_on_wide s alpha)
+      ~block:(fun m -> Session.block_mask_wide s scope alpha m)
+      ~refutes:(fun m -> closer_by_inclusion_wide_in s p alpha m nm)
+  end
 
 let forbus_in ctx s t p alphabet n =
   let alpha = Interp_packed.alphabet alphabet in
@@ -171,12 +184,13 @@ let forbus_in ctx s t p alphabet n =
   else begin
     let pv = Ladder.against env alphabet in
     let lad = Ladder.ladder pv in
+    let nm = Interp_wide.pack alpha n in
     witness_loop ctx s t scope
-      ~model:(fun () -> Session.model_on s alphabet)
-      ~block:(fun m -> Session.block s scope alphabet m)
+      ~model:(fun () -> Session.mask_on_wide s alpha)
+      ~block:(fun m -> Session.block_mask_wide s scope alpha m)
       ~refutes:(fun m ->
-        Session.closer_than s ~assume:(Ladder.pin pv m) [ p ] lad
-          (Interp.hamming m n))
+        Session.closer_than s ~assume:(Ladder.pin_mask_wide pv m) [ p ] lad
+          (Interp_wide.hamming m nm))
   end
 
 let ctx_for ~cap op alphabet =

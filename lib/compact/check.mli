@@ -69,11 +69,17 @@ module Dist : sig
   val to_interp : t -> Interp.t -> int option
   val to_mask : t -> Interp_packed.t -> int option
 
+  val to_mask_wide : t -> Interp_wide.t -> int option
+  (** {!to_mask} for multi-word masks: reference points past
+      {!Interp_packed.max_letters} letters pin through
+      {!Logic.Semantics.Ladder.pin_mask_wide}. *)
+
   val closer_than_interp : t -> Interp.t -> int -> bool
   (** Model of [f] strictly closer than [k] to the reference?  A single
       ladder probe — no minimum computed. *)
 
   val closer_than_mask : t -> Interp_packed.t -> int -> bool
+  val closer_than_mask_wide : t -> Interp_wide.t -> int -> bool
 end
 
 val entails :

@@ -1,12 +1,9 @@
 open Logic
 
 (* Model-set comparisons run packed: both sides become sorted mask arrays
-   over the result's alphabet and compare with structural equality. *)
-
-let same_model_sets a b =
-  let norm = List.sort_uniq Var.Set.compare in
-  let a = norm a and b = norm b in
-  List.length a = List.length b && List.for_all2 Var.Set.equal a b
+   over the result's alphabet — one-word or multi-word by width — and
+   compare with structural equality.  The list pipeline is not involved
+   at any width. *)
 
 let logically_equivalent result f =
   Revkb_obs.Obs.with_span "verify.logical" (fun () ->
@@ -21,9 +18,10 @@ let logically_equivalent result f =
             (Interp_packed.set_of_interps alpha
                (Revision.Result.models result))
         else
-          same_model_sets
-            (Models.enumerate alphabet f)
-            (Revision.Result.models result))
+          Interp_wide.equal_set
+            (Models.enumerate_wide alpha f)
+            (Interp_wide.set_of_interps alpha
+               (Revision.Result.models result)))
 
 (* The candidate's projected models come out of one incremental session
    (scoped blocking clauses, encode-once); the reference side is already
@@ -40,9 +38,9 @@ let query_equivalent result f =
       end
       else begin
         let s = Semantics.Session.create ~vars:alphabet () in
-        same_model_sets
-          (Semantics.Session.models s alphabet f)
-          (Revision.Result.models result)
+        Interp_wide.equal_set
+          (Semantics.Session.masks_wide s alpha f)
+          (Interp_wide.set_of_interps alpha (Revision.Result.models result))
       end)
 
 let report ppf result f =

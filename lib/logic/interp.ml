@@ -17,9 +17,10 @@ let subsets alphabet =
   if n > 25 then
     invalid_arg
       (Printf.sprintf
-         "Interp.subsets: alphabet has %d letters, limit is 25 (use the \
-          SAT-backed Models.enumerate for larger alphabets)"
-         n);
+         "Interp.subsets: alphabet has %d letters, limit is 25 (2^n list \
+          materialization; use the SAT-backed Models.enumerate — or \
+          Models.enumerate_wide past %d letters — for larger alphabets)"
+         n (Sys.int_size - 1));
   let out = ref [] in
   for code = (1 lsl n) - 1 downto 0 do
     let s = ref Var.Set.empty in

@@ -19,8 +19,16 @@ let alphabet_of_formulas fs =
 let size alpha = Array.length alpha.arr
 let letters alpha = Array.to_list alpha.arr
 let max_letters = Sys.int_size - 1
+
+(* One less than [max_letters]: a sweep needs the assignment count
+   [2^n] itself, and [1 lsl max_letters] lands exactly on the sign bit
+   (n = 62 on 64-bit), turning every total-count comparison into
+   nonsense.  Widths 0..61 keep [2^n - 1 <= max_int]. *)
+let max_sweep_letters = Sys.int_size - 2
 let fits alpha = size alpha <= max_letters
 let mem_letter alpha x = Hashtbl.mem alpha.index x
+let index_of alpha x = Hashtbl.find_opt alpha.index x
+let letter alpha i = alpha.arr.(i)
 
 type t = int
 
@@ -246,11 +254,19 @@ let sweep_parallel_threshold = 1 lsl 12
 
 let sweep alpha pred =
   let n = size alpha in
-  if not (fits alpha) then
+  (* [1 lsl n] at n = max_letters (62) overflows into the sign bit:
+     [total] goes negative, the parallel threshold test silently routes
+     the sweep sequential, and range arithmetic wraps.  The widest
+     sweepable width is therefore [max_sweep_letters]; wider alphabets
+     must enumerate through the SAT walk (Models.enumerate_wide /
+     Semantics.masks_sat_wide), which never materializes 2^n. *)
+  if n > max_sweep_letters then
     invalid_arg
       (Printf.sprintf
-         "Interp_packed.sweep: alphabet has %d letters, masks hold at most %d"
-         n max_letters);
+         "Interp_packed.sweep: alphabet has %d letters, limit is %d (2^n \
+          exceeds the native int range; use the SAT-backed \
+          Models.enumerate_wide for larger alphabets)"
+         n max_sweep_letters);
   Revkb_obs.Obs.with_span "enum.sweep"
     ~attrs:(fun () -> [ ("n", string_of_int n) ])
     (fun () ->

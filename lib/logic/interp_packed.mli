@@ -29,11 +29,25 @@ val max_letters : int
 (** Largest alphabet a mask can hold: [Sys.int_size - 1] (62 on 64-bit),
     keeping masks non-negative. *)
 
+val max_sweep_letters : int
+(** Largest alphabet {!sweep} accepts: [Sys.int_size - 2] (61 on
+    64-bit).  One less than {!max_letters} because the sweep needs the
+    total assignment count [2^n], and [1 lsl max_letters] overflows
+    into the sign bit. *)
+
 val fits : alphabet -> bool
-(** Does the alphabet fit in one mask?  Callers fall back to the legacy
-    set-based path when it does not. *)
+(** Does the alphabet fit in one mask?  Callers switch to the
+    {!Interp_wide} multi-word engine when it does not. *)
 
 val mem_letter : alphabet -> Var.t -> bool
+
+val index_of : alphabet -> Var.t -> int option
+(** Bit index of a letter, when it is in the alphabet.  This is the
+    letter-to-bit map shared with the {!Interp_wide} multi-word engine
+    (there, bit [i] lives in word [i / 62]). *)
+
+val letter : alphabet -> int -> Var.t
+(** The letter owning bit [i]; inverse of {!index_of}. *)
 
 (** {1 Masks} *)
 
@@ -92,7 +106,10 @@ val max_incl : t array -> set
 
 val sweep : alphabet -> (t -> bool) -> set
 (** All masks [0 .. 2^size - 1] satisfying the predicate, ascending: the
-    packed truth-table sweep.  Requires [fits].  Above a size threshold
+    packed truth-table sweep.  Raises [Invalid_argument] beyond
+    {!max_sweep_letters} letters — [2^n] itself is not representable
+    there — naming the SAT-backed enumerator to use instead.  Above a
+    size threshold
     the assignment space is partitioned into contiguous ranges (fixing
     the top letters) evaluated across the {!Revkb_parallel.Pool.global}
     pool; chunk results concatenate in range order, so the output is

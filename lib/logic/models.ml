@@ -27,17 +27,39 @@ let assign_false_outside alphabet f =
          Var.Map.empty)
       f
 
+(* The legacy list engine is a differential oracle, not a production
+   fallback: every production path now has a packed one-word or
+   multi-word route.  Any entry here still bumps a fallback counter (and
+   says so once on stderr under --stats), so a future caller silently
+   routing hot traffic through the list pipeline shows up in every
+   snapshot and trace instead of just running 100x slower. *)
+let c_fallback_legacy = Revkb_obs.Obs.counter "models.fallback.legacy"
+
+let legacy_note =
+  lazy
+    (prerr_endline
+       "revkb: note: legacy list-pipeline engine entered \
+        (models.fallback.legacy) — expected only from differential oracles \
+        and old-vs-new benchmarks")
+
+let note_legacy () =
+  Revkb_obs.Obs.incr c_fallback_legacy;
+  if Revkb_obs.Obs.enabled () then Lazy.force legacy_note
+
 module Legacy = struct
   let enumerate alphabet f =
+    note_legacy ();
     check_alphabet "Models.enumerate" alphabet f;
     List.filter (fun m -> Interp.sat m f) (Interp.subsets alphabet)
 
   let equivalent_on alphabet a b =
+    note_legacy ();
     List.for_all
       (fun m -> Interp.sat m a = Interp.sat m b)
       (Interp.subsets alphabet)
 
   let entails_on alphabet a b =
+    note_legacy ();
     List.for_all
       (fun m -> (not (Interp.sat m a)) || Interp.sat m b)
       (Interp.subsets alphabet)
@@ -60,6 +82,25 @@ let enumerate_packed ?cap alpha f =
   Revkb_obs.Obs.add c_models (Array.length set);
   set
 
+(* Multi-word enumeration: the packed pipeline's entry point past
+   [Interp_packed.max_letters].  Below the cutover the one-word sweep
+   runs and its masks widen for free (one word is the degenerate wide
+   layout); everything else walks the SAT enumerator reading wide masks
+   directly, so no width ever leaves the packed representation. *)
+let enumerate_wide ?cap alpha f =
+  check_alphabet "Models.enumerate" (Interp_packed.letters alpha) f;
+  let set =
+    Revkb_obs.Obs.with_span "models.enumerate"
+      ~attrs:(fun () -> [ ("n", string_of_int (Interp_packed.size alpha)) ])
+      (fun () ->
+        if Interp_packed.size alpha <= sat_cutover then
+          Interp_wide.set_of_masks alpha
+            (Interp_packed.sweep alpha (Interp_packed.compile alpha f))
+        else Semantics.masks_sat_wide ?cap alpha f)
+  in
+  Revkb_obs.Obs.add c_models (Array.length set);
+  set
+
 let enumerate alphabet f =
   let n = List.length alphabet in
   if n <= sat_cutover then
@@ -67,7 +108,15 @@ let enumerate alphabet f =
     Interp_packed.interps_of_set alpha (enumerate_packed alpha f)
   else begin
     check_alphabet "Models.enumerate" alphabet f;
-    List.sort Var.Set.compare (Semantics.models_sat alphabet f)
+    let alpha = Interp_packed.alphabet alphabet in
+    let ms =
+      if Interp_packed.fits alpha then
+        Interp_packed.interps_of_set alpha (enumerate_packed alpha f)
+      else Interp_wide.interps_of_set alpha (enumerate_wide alpha f)
+    in
+    (* Documented contract above the cutover: Var.Set.compare order, not
+       counter order. *)
+    List.sort Var.Set.compare ms
   end
 
 (* Chunked forall-sweep shared by count/equivalent_on/entails_on: fold a
@@ -76,7 +125,15 @@ let enumerate alphabet f =
    every job count. *)
 let sweep_parallel_threshold = 1 lsl 12
 
+(* Every [1 lsl n] total-count here is guarded: callers only reach these
+   below [sat_cutover] (20), far under the n = 62 sign-bit overflow that
+   bit Interp_packed.sweep, but the assertion keeps a future caller from
+   reintroducing the silent wraparound. *)
+let check_sweepable n =
+  assert (n <= Interp_packed.max_sweep_letters)
+
 let for_all_codes n pred =
+  check_sweepable n;
   let total = 1 lsl n in
   let chunk lo hi =
     let rec go code = code >= hi || (pred code && go (code + 1)) in
@@ -89,7 +146,7 @@ let for_all_codes n pred =
     Revkb_parallel.Pool.parallel_for_reduce pool ~lo:0 ~hi:total ~map:chunk
       ~reduce:( && ) true
 
-let count alphabet f =
+let count ?cap alphabet f =
   check_alphabet "Models.count" alphabet f;
   let n = List.length alphabet in
   if n <= sat_cutover then begin
@@ -97,6 +154,7 @@ let count alphabet f =
        assignment and sum per-range tallies — no model is ever unpacked
        (or even stored). *)
     let alpha = Interp_packed.alphabet alphabet in
+    check_sweepable (Interp_packed.size alpha);
     let pred = Interp_packed.compile alpha f in
     let total = 1 lsl Interp_packed.size alpha in
     let chunk lo hi =
@@ -115,15 +173,14 @@ let count alphabet f =
   end
   else if not (Semantics.is_sat (assign_false_outside alphabet f)) then 0
   else
-    (* Counting above the cutover would walk the full model set through
-       the SAT enumerator — potentially astronomically many blocking
-       clauses.  One SAT call settles the zero case; anything else is an
-       explicit opt-in via enumerate. *)
-    invalid_arg
-      (Printf.sprintf
-         "Models.count: %d letters exceeds sat_cutover (%d); counting would \
-          SAT-enumerate every model — use enumerate if that cost is intended"
-         n sat_cutover)
+    (* Above the cutover: walk the models through the SAT enumerator's
+       blocking clauses, tallying multi-word masks without ever storing
+       one.  The walk is capped (default 1_000_000) and raises an
+       actionable [Invalid_argument] past the cap, so a formula whose
+       model set really is astronomical fails loudly instead of looping;
+       the preceding one-SAT-call zero check keeps the common
+       unsatisfiable case free. *)
+    Semantics.count_sat ?cap (Interp_packed.alphabet alphabet) f
 
 let equivalent_on alphabet a b =
   if List.length alphabet <= sat_cutover then begin

@@ -10,12 +10,18 @@
       and all [2^n] masks are swept;
     - beyond the cutover: a SAT-backed enumerator that walks the models of
       the Tseitin-encoded formula via blocking clauses on the incremental
-      CDCL solver ({!Semantics.masks_sat}), so formulas with small model
+      CDCL solver ({!Semantics.masks_sat} /
+      {!Semantics.masks_sat_wide}), so formulas with small model
       sets over large alphabets (even past the 25-letter brute-force cap)
       enumerate in time proportional to the answer.
 
-    The original list-based engine survives in {!Legacy} as the reference
-    implementation for differential tests and old-vs-new benchmarks. *)
+    Alphabets past {!Interp_packed.max_letters} letters route through the
+    {!Interp_wide} multi-word engine ({!enumerate_wide}) — there is no
+    width ceiling and no legacy fallback.  The original list-based engine
+    survives in {!Legacy} as the reference implementation for
+    differential tests and old-vs-new benchmarks; every entry into it
+    bumps the [models.fallback.legacy] counter (and notes it once on
+    stderr under [--stats]). *)
 
 val alphabet_of : Formula.t list -> Var.t list
 (** Sorted joint alphabet of a list of formulas. *)
@@ -32,17 +38,27 @@ val enumerate : Var.t list -> Formula.t -> Interp.t list
 
 val enumerate_packed :
   ?cap:int -> Interp_packed.alphabet -> Formula.t -> Interp_packed.set
-(** Packed-native [enumerate]: the hot pipeline's entry point.  [cap]
-    bounds the SAT walk (ignored by the sweep). *)
+(** Packed-native [enumerate]: the hot pipeline's entry point when the
+    alphabet fits one word ({!Interp_packed.fits}).  [cap] bounds the
+    SAT walk (ignored by the sweep). *)
 
-val count : Var.t list -> Formula.t -> int
+val enumerate_wide :
+  ?cap:int -> Interp_packed.alphabet -> Formula.t -> Interp_wide.set
+(** Multi-word [enumerate]: the pipeline's entry point past
+    {!Interp_packed.max_letters} letters (works at any width).  Below
+    the cutover the one-word sweep runs and its masks widen; above it
+    the SAT walk reads wide masks directly
+    ({!Semantics.masks_sat_wide}). *)
+
+val count : ?cap:int -> Var.t list -> Formula.t -> int
 (** Model count over the alphabet without materializing the model set: at
     most {!sat_cutover} letters, a compiled-predicate tally over the
     [2^n] assignments (chunked across the pool, no model unpacked).
-    Above the cutover one SAT call settles the zero case; a satisfiable
-    formula raises [Invalid_argument] rather than silently walking a
-    potentially exponential model set through blocking clauses — callers
-    who really want that pay for it explicitly via {!enumerate}. *)
+    Above the cutover one SAT call settles the zero case; otherwise the
+    blocking-clause walk tallies models without storing them
+    ({!Semantics.count_sat}), bounded by [cap] (default 1_000_000) —
+    past the cap it raises an actionable [Invalid_argument] instead of
+    walking an astronomical model set to completion. *)
 
 val equivalent_on : Var.t list -> Formula.t -> Formula.t -> bool
 (** Logical equivalence over the alphabet: packed truth-table sweep below
@@ -62,8 +78,10 @@ val dnf_of_models : Var.t list -> Interp.t list -> Formula.t
 
 (** The original [Var.Set.t]-list engine: a filtered {!Interp.subsets}
     sweep, capped at 25 letters.  Kept verbatim so property tests can
-    assert the packed engine agrees with it and benchmarks can report the
-    speedup. *)
+    assert the packed engines agree with it and benchmarks can report the
+    speedup.  Not reachable from any production path: each call bumps
+    the [models.fallback.legacy] counter, and under [--stats] the first
+    call notes itself on stderr. *)
 module Legacy : sig
   val enumerate : Var.t list -> Formula.t -> Interp.t list
   val equivalent_on : Var.t list -> Formula.t -> Formula.t -> bool

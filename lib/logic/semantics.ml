@@ -150,6 +150,26 @@ let blocking_clause_mask env alpha mask =
 
 let block_mask env alpha mask = add env (blocking_clause_mask env alpha mask)
 
+(* Wide-mask variants: same letter-to-bit map, words instead of one
+   int, no width ceiling. *)
+let mask_on_wide env alpha =
+  let m = Interp_wide.zero alpha in
+  List.iteri
+    (fun i x ->
+      if S.value env.solver (lit_of_var env x) then Interp_wide.set_bit m i)
+    (Interp_packed.letters alpha);
+  m
+
+let blocking_clause_mask_wide env alpha mask =
+  List.mapi
+    (fun i x ->
+      let l = lit_of_var env x in
+      if Interp_wide.test mask i then L.neg l else l)
+    (Interp_packed.letters alpha)
+
+let block_mask_wide env alpha mask =
+  add env (blocking_clause_mask_wide env alpha mask)
+
 (* -- cardinality ladder -------------------------------------------------
 
    One sequential-counter encoding (Sinz-style, both directions) whose
@@ -243,6 +263,13 @@ module Ladder = struct
          (fun i _ ->
            if mask land (1 lsl i) <> 0 then p.ys.(i) else L.neg p.ys.(i))
          p.letters)
+
+  let pin_mask_wide p mask =
+    Array.to_list
+      (Array.mapi
+         (fun i _ ->
+           if Interp_wide.test mask i then p.ys.(i) else L.neg p.ys.(i))
+         p.letters)
 end
 
 (* -- incremental sessions -----------------------------------------------
@@ -308,6 +335,11 @@ module Session = struct
   let block_mask s sel alpha mask =
     scoped_clause s sel (blocking_clause_mask s.env alpha mask)
 
+  let mask_on_wide s alpha = mask_on_wide s.env alpha
+
+  let block_mask_wide s sel alpha mask =
+    scoped_clause s sel (blocking_clause_mask_wide s.env alpha mask)
+
   let retire s sel =
     s.scopes_retired <- s.scopes_retired + 1;
     add s.env [ L.neg sel ]
@@ -357,7 +389,11 @@ module Session = struct
 
   let masks ?(cap = 1_000_000) s alpha f =
     if not (Interp_packed.fits alpha) then
-      invalid_arg "Semantics.masks_sat: alphabet too large for masks";
+      invalid_arg
+        (Printf.sprintf
+           "Semantics.masks_sat: alphabet has %d letters, limit is %d for \
+            one-word masks (use masks_sat_wide for larger alphabets)"
+           (Interp_packed.size alpha) Interp_packed.max_letters);
     declare s (Interp_packed.letters alpha);
     with_retractable s (fun scope ->
         let rec go acc n =
@@ -370,11 +406,58 @@ module Session = struct
           else Interp_packed.normalize (Array.of_list acc)
         in
         go [] 0)
+
+  (* Wide-mask enumeration: the same scoped blocking walk with no width
+     ceiling — this is the production enumerator past
+     [Interp_packed.max_letters]. *)
+  let masks_wide ?(cap = 1_000_000) s alpha f =
+    declare s (Interp_packed.letters alpha);
+    with_retractable s (fun scope ->
+        let rec go acc n =
+          if n > cap then failwith "Semantics.masks_sat_wide: cap exceeded"
+          else if solve s ~scopes:[ scope ] [ f ] then begin
+            let m = mask_on_wide s alpha in
+            block_mask_wide s scope alpha m;
+            go (m :: acc) (n + 1)
+          end
+          else Interp_wide.normalize (Array.of_list acc)
+        in
+        go [] 0)
+
+  (* Model count by the same walk, tallying instead of storing: no mask
+     is retained, so counting costs one blocking clause per model and
+     O(words) transient memory.  Raises [Invalid_argument] past the cap
+     with the count so far, so the caller knows the scale it hit. *)
+  let count_masks ?(cap = 1_000_000) s alpha f =
+    declare s (Interp_packed.letters alpha);
+    with_retractable s (fun scope ->
+        let rec go n =
+          if n > cap then
+            invalid_arg
+              (Printf.sprintf
+                 "Semantics.count_sat: more than %d models over %d letters \
+                  (raise ~cap if walking a model set this size is intended)"
+                 cap (Interp_packed.size alpha))
+          else if solve s ~scopes:[ scope ] [ f ] then begin
+            block_mask_wide s scope alpha (mask_on_wide s alpha);
+            go (n + 1)
+          end
+          else n
+        in
+        go 0)
 end
 
 let masks_sat ?cap alpha f =
   let s = Session.create ~vars:(Interp_packed.letters alpha) () in
   Session.masks ?cap s alpha f
+
+let masks_sat_wide ?cap alpha f =
+  let s = Session.create ~vars:(Interp_packed.letters alpha) () in
+  Session.masks_wide ?cap s alpha f
+
+let count_sat ?cap alpha f =
+  let s = Session.create ~vars:(Interp_packed.letters alpha) () in
+  Session.count_masks ?cap s alpha f
 
 let is_sat_cdcl f =
   let env = create () in

@@ -95,6 +95,9 @@ module Ladder : sig
 
   val pin_mask : pinned -> int -> Satsolver.Lit.t list
   (** Mask-level {!pin}; bit [i] is letter [i] of the [against] list. *)
+
+  val pin_mask_wide : pinned -> Interp_wide.t -> Satsolver.Lit.t list
+  (** {!pin_mask} for multi-word masks: no width ceiling. *)
 end
 
 (** {1 Incremental sessions} *)
@@ -137,6 +140,7 @@ module Session : sig
 
   val model_on : t -> Var.t list -> Interp.t
   val mask_on : t -> Interp_packed.alphabet -> Interp_packed.t
+  val mask_on_wide : t -> Interp_packed.alphabet -> Interp_wide.t
 
   val new_scope : t -> scope
   (** Fresh selector literal.  Clauses added under it ({!block},
@@ -144,6 +148,9 @@ module Session : sig
 
   val block : t -> scope -> Var.t list -> Interp.t -> unit
   val block_mask : t -> scope -> Interp_packed.alphabet -> Interp_packed.t -> unit
+
+  val block_mask_wide :
+    t -> scope -> Interp_packed.alphabet -> Interp_wide.t -> unit
 
   val retire : t -> scope -> unit
   (** Permanently deactivate the scope (unit clause on the negated
@@ -177,7 +184,19 @@ module Session : sig
 
   val masks :
     ?cap:int -> t -> Interp_packed.alphabet -> Formula.t -> Interp_packed.set
-  (** Packed {!models}. *)
+  (** Packed {!models}.  Raises [Invalid_argument] past
+      {!Interp_packed.max_letters} letters, naming {!masks_wide}. *)
+
+  val masks_wide :
+    ?cap:int -> t -> Interp_packed.alphabet -> Formula.t -> Interp_wide.set
+  (** Multi-word {!masks}: the same scoped blocking walk with no width
+      ceiling — the production enumerator past
+      {!Interp_packed.max_letters} letters. *)
+
+  val count_masks : ?cap:int -> t -> Interp_packed.alphabet -> Formula.t -> int
+  (** Model count by the blocking walk, tallying instead of storing.
+      Raises [Invalid_argument] past [cap] (default 1_000_000) with an
+      actionable message — truncation is never silent. *)
 end
 
 (** {1 One-shot queries} *)
@@ -208,6 +227,9 @@ val mask_on : env -> Interp_packed.alphabet -> Interp_packed.t
 val block_mask : env -> Interp_packed.alphabet -> Interp_packed.t -> unit
 (** Mask-level {!block}. *)
 
+val mask_on_wide : env -> Interp_packed.alphabet -> Interp_wide.t
+val block_mask_wide : env -> Interp_packed.alphabet -> Interp_wide.t -> unit
+
 val masks_sat :
   ?cap:int -> Interp_packed.alphabet -> Formula.t -> Interp_packed.set
 (** Packed {!models_sat}: walk the models of the Tseitin-encoded formula
@@ -216,6 +238,16 @@ val masks_sat :
     {!Models.enumerate} for alphabets past the brute-force cutover.
     Requires the alphabet to fit in a mask; raises [Failure] at [cap]
     (default 1_000_000) so truncation is never silent. *)
+
+val masks_sat_wide :
+  ?cap:int -> Interp_packed.alphabet -> Formula.t -> Interp_wide.set
+(** {!masks_sat} for multi-word masks: the enumerator for alphabets past
+    {!Interp_packed.max_letters} letters (no width ceiling). *)
+
+val count_sat : ?cap:int -> Interp_packed.alphabet -> Formula.t -> int
+(** One-shot {!Session.count_masks}: model count over the alphabet by
+    the SAT blocking walk, never materializing the model set.  This is
+    what {!Models.count} runs past its brute-force cutover. *)
 
 val models_sat : ?cap:int -> Var.t list -> Formula.t -> Interp.t list
 (** All distinct projections onto the given letters of models of the

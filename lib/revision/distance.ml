@@ -90,23 +90,118 @@ module Packed = struct
   let omega t_models p_models = IP.union_all (delta t_models p_models)
 end
 
+(* Multi-word mirror of [Packed]: same streaming-frontier reductions,
+   same chunk/merge contract, over [Interp_wide] masks.  Selected by the
+   Var.Set wrappers whenever the joint alphabet does not fit one word —
+   this is what removed the 62-letter ceiling. *)
+module Wide = struct
+  module IW = Interp_wide
+  module Pool = Revkb_parallel.Pool
+  module Obs = Revkb_obs.Obs
+
+  let require name set =
+    if Array.length set = 0 then
+      invalid_arg ("Distance." ^ name ^ ": empty model set")
+
+  let parallel_threshold = Packed.parallel_threshold
+  let h_frontier = Obs.hist "distance.frontier_size"
+
+  let mu m p_models =
+    require "mu" p_models;
+    let fr = IW.Frontier.create () in
+    Array.iter (fun n -> IW.Frontier.add fr (IW.lxor_ m n)) p_models;
+    IW.Frontier.to_set fr
+
+  let k_pointwise m p_models =
+    require "k_pointwise" p_models;
+    Array.fold_left (fun acc n -> min acc (IW.hamming m n)) max_int p_models
+
+  let delta_chunk t_models p_models lo hi =
+    let fr = IW.Frontier.create () in
+    for i = lo to hi - 1 do
+      let m = t_models.(i) in
+      Array.iter (fun p -> IW.Frontier.add fr (IW.lxor_ m p)) p_models
+    done;
+    Obs.observe h_frontier (IW.Frontier.size fr);
+    fr
+
+  let size_attrs nt np () =
+    [ ("nt", string_of_int nt); ("np", string_of_int np) ]
+
+  let delta t_models p_models =
+    require "delta" t_models;
+    require "delta" p_models;
+    let nt = Array.length t_models and np = Array.length p_models in
+    Obs.with_span "distance.delta" ~attrs:(size_attrs nt np) (fun () ->
+        let pool = Pool.global () in
+        if Pool.jobs pool = 1 || nt * np < parallel_threshold then
+          IW.Frontier.to_set (delta_chunk t_models p_models 0 nt)
+        else
+          IW.min_incl
+            (Array.concat
+               (Array.to_list
+                  (Array.map IW.Frontier.to_array
+                     (Pool.map_ranges pool ~lo:0 ~hi:nt
+                        (delta_chunk t_models p_models))))))
+
+  let k_global t_models p_models =
+    require "k_global" t_models;
+    require "k_global" p_models;
+    let nt = Array.length t_models and np = Array.length p_models in
+    Obs.with_span "distance.k_global" ~attrs:(size_attrs nt np) (fun () ->
+        let chunk lo hi =
+          let acc = ref max_int in
+          for i = lo to hi - 1 do
+            acc := min !acc (k_pointwise t_models.(i) p_models)
+          done;
+          !acc
+        in
+        let pool = Pool.global () in
+        if Pool.jobs pool = 1 || nt * np < parallel_threshold then chunk 0 nt
+        else
+          Pool.parallel_for_reduce pool ~lo:0 ~hi:nt ~map:chunk ~reduce:min
+            max_int)
+
+  let omega alpha t_models p_models =
+    IW.union_all alpha (delta t_models p_models)
+end
+
+(* The legacy list engine is a differential oracle only; see the note in
+   Models.  Every entry bumps [dist.fallback.legacy]. *)
+let c_fallback_legacy = Revkb_obs.Obs.counter "dist.fallback.legacy"
+
+let legacy_note =
+  lazy
+    (prerr_endline
+       "revkb: note: legacy list-pipeline distance engine entered \
+        (dist.fallback.legacy) — expected only from differential oracles \
+        and old-vs-new benchmarks")
+
+let note_legacy () =
+  Revkb_obs.Obs.incr c_fallback_legacy;
+  if Revkb_obs.Obs.enabled () then Lazy.force legacy_note
+
 module Legacy = struct
   let mu m p_models =
+    note_legacy ();
     require "mu" p_models;
     Interp.min_incl (List.map (fun n -> Interp.sym_diff m n) p_models)
 
   let k_pointwise m p_models =
+    note_legacy ();
     require "k_pointwise" p_models;
     List.fold_left
       (fun acc n -> min acc (Interp.hamming m n))
       max_int p_models
 
   let delta t_models p_models =
+    note_legacy ();
     require "delta" t_models;
     require "delta" p_models;
     Interp.min_incl (List.concat_map (fun m -> mu m p_models) t_models)
 
   let k_global t_models p_models =
+    note_legacy ();
     require "k_global" t_models;
     require "k_global" p_models;
     List.fold_left
@@ -119,7 +214,9 @@ end
 
 (* Var.Set wrappers: pack over the union alphabet of the inputs (letters
    false everywhere cannot appear in a symmetric difference), run the
-   packed engine, unpack.  Oversized alphabets fall back to Legacy. *)
+   packed engine, unpack.  One-word alphabets take the specialized
+   [Packed] fast case; wider ones the multi-word [Wide] engine — the
+   legacy list pipeline is never reached from here. *)
 
 let joint_alphabet interps =
   Interp_packed.alphabet
@@ -133,7 +230,10 @@ let mu m p_models =
     Interp_packed.interps_of_set alpha
       (Packed.mu (Interp_packed.pack alpha m)
          (Interp_packed.set_of_interps alpha p_models))
-  else Legacy.mu m p_models
+  else
+    Interp_wide.interps_of_set alpha
+      (Wide.mu (Interp_wide.pack alpha m)
+         (Interp_wide.set_of_interps alpha p_models))
 
 let k_pointwise m p_models =
   require "k_pointwise" p_models;
@@ -141,7 +241,9 @@ let k_pointwise m p_models =
   if Interp_packed.fits alpha then
     Packed.k_pointwise (Interp_packed.pack alpha m)
       (Interp_packed.set_of_interps alpha p_models)
-  else Legacy.k_pointwise m p_models
+  else
+    Wide.k_pointwise (Interp_wide.pack alpha m)
+      (Interp_wide.set_of_interps alpha p_models)
 
 let delta t_models p_models =
   require "delta" t_models;
@@ -152,7 +254,11 @@ let delta t_models p_models =
       (Packed.delta
          (Interp_packed.set_of_interps alpha t_models)
          (Interp_packed.set_of_interps alpha p_models))
-  else Legacy.delta t_models p_models
+  else
+    Interp_wide.interps_of_set alpha
+      (Wide.delta
+         (Interp_wide.set_of_interps alpha t_models)
+         (Interp_wide.set_of_interps alpha p_models))
 
 let k_global t_models p_models =
   require "k_global" t_models;
@@ -162,7 +268,10 @@ let k_global t_models p_models =
     Packed.k_global
       (Interp_packed.set_of_interps alpha t_models)
       (Interp_packed.set_of_interps alpha p_models)
-  else Legacy.k_global t_models p_models
+  else
+    Wide.k_global
+      (Interp_wide.set_of_interps alpha t_models)
+      (Interp_wide.set_of_interps alpha p_models)
 
 let omega t_models p_models =
   List.fold_left Var.Set.union Var.Set.empty (delta t_models p_models)

@@ -10,12 +10,14 @@
     the degenerate cases before any distance is measured, so these guards
     only trip on misuse.
 
-    The [Var.Set.t] API below is a thin wrapper over the packed engine
-    ({!Packed}): inputs are packed into bitmasks over their joint
-    alphabet, measured with [lxor]/popcount, and unpacked.  Alphabets too
-    large for a mask fall back to {!Legacy}, the original list-based
-    implementation, which is also kept as the reference for differential
-    tests and old-vs-new benchmarks. *)
+    The [Var.Set.t] API below is a thin wrapper over the packed engines:
+    inputs are packed into bitmasks over their joint alphabet, measured
+    with [lxor]/popcount, and unpacked.  One-word alphabets
+    ({!Interp_packed.fits}) take the specialized {!Packed} fast case;
+    wider alphabets the multi-word {!Wide} engine — there is no width
+    ceiling.  {!Legacy}, the original list-based implementation, is kept
+    only as the reference for differential tests and old-vs-new
+    benchmarks; entering it bumps the [dist.fallback.legacy] counter. *)
 
 open Logic
 
@@ -55,8 +57,24 @@ module Packed : sig
   val omega : Interp_packed.set -> Interp_packed.set -> Interp_packed.t
 end
 
-(** The original list-of-[Var.Set.t] implementation (reference /
-    fallback).  Same nonempty contract as above. *)
+(** Multi-word mirror of {!Packed} over {!Interp_wide} masks: identical
+    streaming reductions and chunk/merge contracts, no width ceiling.
+    [omega] takes the alphabet explicitly (a wide zero mask needs a word
+    count).  Same nonempty contract as above. *)
+module Wide : sig
+  val mu : Interp_wide.t -> Interp_wide.set -> Interp_wide.set
+  val k_pointwise : Interp_wide.t -> Interp_wide.set -> int
+  val delta : Interp_wide.set -> Interp_wide.set -> Interp_wide.set
+  val k_global : Interp_wide.set -> Interp_wide.set -> int
+
+  val omega :
+    Interp_packed.alphabet -> Interp_wide.set -> Interp_wide.set -> Interp_wide.t
+end
+
+(** The original list-of-[Var.Set.t] implementation: a differential
+    oracle, not a reachable production fallback.  Every entry bumps
+    [dist.fallback.legacy] (and notes itself once on stderr under
+    [--stats]).  Same nonempty contract as above. *)
 module Legacy : sig
   val mu : Interp.t -> Interp.t list -> Var.Set.t list
   val k_pointwise : Interp.t -> Interp.t list -> int

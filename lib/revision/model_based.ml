@@ -88,10 +88,82 @@ module Packed = struct
       | Weber -> weber t_models p_models
 end
 
-(* The original list-of-Var.Set engine, kept as the reference for
-   differential tests, the old-vs-new benchmarks, and as fallback for
-   alphabets too large to pack. *)
+(* Multi-word mirror of [Packed] over Interp_wide masks: the same
+   per-M hoisting, selected by the wrappers past the one-word width.
+   Wide masks are arrays, so symmetric differences allocate ([lxor_])
+   where the one-word path used a register [lxor] — the reason the
+   one-word engine stays as the specialized fast case. *)
+module Wide = struct
+  module IW = Interp_wide
+
+  let winslett t_models p_models =
+    let mus = Array.map (fun m -> Distance.Wide.mu m p_models) t_models in
+    IW.filter
+      (fun n ->
+        let rec probe i =
+          i < Array.length t_models
+          && (IW.mem mus.(i) (IW.lxor_ t_models.(i) n) || probe (i + 1))
+        in
+        probe 0)
+      p_models
+
+  let borgida t_models p_models =
+    let inter = IW.inter p_models t_models in
+    if Array.length inter > 0 then inter else winslett t_models p_models
+
+  let forbus t_models p_models =
+    let ks =
+      Array.map (fun m -> Distance.Wide.k_pointwise m p_models) t_models
+    in
+    IW.filter
+      (fun n ->
+        let rec probe i =
+          i < Array.length t_models
+          && (IW.hamming t_models.(i) n = ks.(i) || probe (i + 1))
+        in
+        probe 0)
+      p_models
+
+  let satoh t_models p_models =
+    let d = Distance.Wide.delta t_models p_models in
+    IW.filter
+      (fun n -> IW.exists (fun m -> IW.mem d (IW.lxor_ n m)) t_models)
+      p_models
+
+  let dalal t_models p_models =
+    let k = Distance.Wide.k_global t_models p_models in
+    IW.filter
+      (fun n -> IW.exists (fun m -> IW.hamming n m = k) t_models)
+      p_models
+
+  let weber alpha t_models p_models =
+    let omega = Distance.Wide.omega alpha t_models p_models in
+    IW.filter
+      (fun n -> IW.exists (fun m -> IW.subset (IW.lxor_ n m) omega) t_models)
+      p_models
+
+  let select op alpha t_models p_models =
+    if Array.length p_models = 0 then [||]
+    else if Array.length t_models = 0 then p_models
+    else
+      match op with
+      | Winslett -> winslett t_models p_models
+      | Borgida -> borgida t_models p_models
+      | Forbus -> forbus t_models p_models
+      | Satoh -> satoh t_models p_models
+      | Dalal -> dalal t_models p_models
+      | Weber -> weber alpha t_models p_models
+end
+
+(* The original list-of-Var.Set engine: a differential oracle for tests
+   and old-vs-new benchmarks, never a production fallback.  Entries bump
+   [models.fallback.legacy] via the Distance/Models legacy layers; the
+   [select] wrapper below never routes here. *)
 module Legacy = struct
+  (* Registry-keyed: this is the same counter Models' legacy engine
+     bumps, so one snapshot shows every legacy entry point. *)
+  let c_fallback = Revkb_obs.Obs.counter "models.fallback.legacy"
+
   let winslett t_models p_models =
     List.filter
       (fun n ->
@@ -142,6 +214,7 @@ module Legacy = struct
       p_models
 
   let select op t_models p_models =
+    Revkb_obs.Obs.incr c_fallback;
     match p_models with
     | [] -> []
     | _ -> (
@@ -180,7 +253,11 @@ let select op t_models p_models =
           (Packed.select op
              (Interp_packed.set_of_interps alpha t_models)
              (Interp_packed.set_of_interps alpha p_models))
-      else Legacy.select op t_models p_models
+      else
+        Interp_wide.interps_of_set alpha
+          (Wide.select op alpha
+             (Interp_wide.set_of_interps alpha t_models)
+             (Interp_wide.set_of_interps alpha p_models))
 
 let revise_on op alphabet t p =
   let alpha = Interp_packed.alphabet alphabet in
@@ -191,9 +268,11 @@ let revise_on op alphabet t p =
       (Interp_packed.interps_of_set alpha
          (Packed.select op t_models p_models))
   else
-    let t_models = Models.enumerate alphabet t in
-    let p_models = Models.enumerate alphabet p in
-    Result.make alphabet (Legacy.select op t_models p_models)
+    let t_models = Models.enumerate_wide alpha t in
+    let p_models = Models.enumerate_wide alpha p in
+    Result.make alphabet
+      (Interp_wide.interps_of_set alpha
+         (Wide.select op alpha t_models p_models))
 
 let revise op t p =
   let alphabet = Models.alphabet_of [ t; p ] in

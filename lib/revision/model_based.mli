@@ -29,15 +29,19 @@ val of_name : string -> op option
 val select : op -> Interp.t list -> Interp.t list -> Interp.t list
 (** [select op t_models p_models]: the surviving models of [P]
     (boundary conventions above).  Internally packs both sets into
-    bitmasks over their joint letters and runs {!Packed.select}; falls
-    back to {!Legacy.select} when they do not fit in a mask. *)
+    bitmasks over their joint letters and runs {!Packed.select}; joint
+    alphabets past {!Interp_packed.max_letters} letters run
+    {!Wide.select} on multi-word masks — no width ceiling, no legacy
+    fallback. *)
 
 val revise_on : op -> Var.t list -> Formula.t -> Formula.t -> Result.t
 (** Revision with models enumerated over an explicit alphabet, which must
     contain the letters of both formulas.  Runs the packed pipeline
-    ({!Models.enumerate_packed} + {!Packed.select}); past
-    {!Models.sat_cutover} letters enumeration is SAT-backed, so large
-    alphabets work as long as the model sets stay small. *)
+    ({!Models.enumerate_packed} + {!Packed.select}; past
+    {!Interp_packed.max_letters} letters {!Models.enumerate_wide} +
+    {!Wide.select}); past {!Models.sat_cutover} letters enumeration is
+    SAT-backed, so large alphabets work as long as the model sets stay
+    small. *)
 
 val revise : op -> Formula.t -> Formula.t -> Result.t
 (** [revise_on] over the joint alphabet [V(T) ∪ V(P)]. *)
@@ -51,9 +55,22 @@ module Packed : sig
     op -> Interp_packed.set -> Interp_packed.set -> Interp_packed.set
 end
 
-(** The original list-of-[Var.Set.t] engine, kept verbatim: reference for
-    differential tests, baseline for old-vs-new benchmarks, fallback for
-    unpackable alphabets. *)
+(** Multi-word mirror of {!Packed} over {!Interp_wide} mask sets: same
+    per-model hoisting, selected past the one-word width.  Takes the
+    shared alphabet explicitly (Weber's [Ω] needs a word count). *)
+module Wide : sig
+  val select :
+    op ->
+    Interp_packed.alphabet ->
+    Interp_wide.set ->
+    Interp_wide.set ->
+    Interp_wide.set
+end
+
+(** The original list-of-[Var.Set.t] engine, kept verbatim as a
+    differential oracle and old-vs-new benchmark baseline — no
+    production path reaches it.  Every [select]/[revise_on] bumps the
+    [models.fallback.legacy] counter (shared with {!Models.Legacy}). *)
 module Legacy : sig
   val select : op -> Interp.t list -> Interp.t list -> Interp.t list
 
