@@ -125,6 +125,7 @@ let dist_to_rows () =
     List.init 64 (fun i ->
         let m = i * 7919 land ((1 lsl n) - 1) in
         List.fold_left
+          (* lint: shift-ok j < n, and bench alphabets stay far under 62 *)
           (fun acc (j, x) ->
             if m land (1 lsl j) <> 0 then Var.Set.add x acc else acc)
           Var.Set.empty

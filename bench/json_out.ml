@@ -17,6 +17,8 @@ type row = {
   metrics : (string * int) list;
 }
 
+(* lint: domain-safe the bench driver is single-domain; rows are
+   appended between timed regions, never from pool tasks *)
 let rows : row list ref = ref []
 
 let add ?(metrics = []) ~bench ~n ~jobs ~wall_ms ~speedup () =

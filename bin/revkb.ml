@@ -28,6 +28,8 @@ module Obs = Revkb_obs.Obs
 
 (* The at_exit snapshot prints to stderr: golden CLI tests diff stdout,
    so CI can run the whole suite under REVKB_STATS=1 without churn. *)
+(* lint: domain-safe set once during CLI argument handling, before
+   any pool work starts *)
 let stats_hook = ref false
 
 let enable_stats () =

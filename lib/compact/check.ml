@@ -57,11 +57,23 @@ let dist_to f n alphabet = Dist.to_interp (Dist.create f alphabet) n
    operator, the cap, and the alphabet width it died on. *)
 type cegar_ctx = { cap : int; opname : string; nletters : int }
 
+exception
+  Cegar_cap_exceeded of { cap : int; opname : string; nletters : int }
+
+let () =
+  Printexc.register_printer (function
+    | Cegar_cap_exceeded { cap; opname; nletters } ->
+        Some
+          (Printf.sprintf
+             "Compact.Check: CEGAR cap exceeded (cap=%d, op=%s, %d-letter \
+              alphabet)"
+             cap opname nletters)
+    | _ -> None)
+
 let cegar_fail ctx =
-  failwith
-    (Printf.sprintf
-       "Compact.Check: CEGAR cap exceeded (cap=%d, op=%s, %d-letter alphabet)"
-       ctx.cap ctx.opname ctx.nletters)
+  raise
+    (Cegar_cap_exceeded
+       { cap = ctx.cap; opname = ctx.opname; nletters = ctx.nletters })
 
 (* CEGAR for the pointwise operators, all on ONE session per call site:
    witnesses are models of [t] under a retractable blocking scope, and
@@ -95,6 +107,8 @@ let closer_by_inclusion_packed_in s p alpha m n =
   if d = 0 then false
   else begin
     let bits =
+      (* lint: shift-ok i < Interp_packed.size alpha <= max_letters: the
+         packed checkers only run on fits-checked alphabets *)
       List.mapi (fun i x -> (1 lsl i, x)) (Interp_packed.letters alpha)
     in
     let agree =

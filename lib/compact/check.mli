@@ -25,6 +25,12 @@
 
 open Logic
 
+exception
+  Cegar_cap_exceeded of { cap : int; opname : string; nletters : int }
+(** The Winslett/Forbus CEGAR witness loop refined more than
+    [cegar_cap] times.  Carries the cap, the operator name, and the
+    alphabet width the loop died on. *)
+
 val model_check :
   ?cegar_cap:int ->
   Revision.Model_based.op ->
@@ -36,7 +42,7 @@ val model_check :
     [V(T) ∪ V(P)]; letters outside it are ignored) satisfy [T * P]?
     Requires [t] and [p] satisfiable.  [cegar_cap] (default 50_000)
     bounds the Winslett/Forbus witness loop; exceeding it raises
-    [Failure]. *)
+    {!Cegar_cap_exceeded}. *)
 
 val model_check_batch :
   ?cegar_cap:int ->

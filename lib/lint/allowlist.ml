@@ -1,0 +1,148 @@
+type entry = {
+  tag : string;
+  rule : Finding.rule option;
+  reason : string;
+  line : int;
+  mutable used : bool;
+}
+
+let window = 2
+
+let rule_of_tag = function
+  | "domain-safe" -> Some Finding.R1
+  | "shift-ok" -> Some Finding.R2
+  | "obs-ok" -> Some Finding.R3
+  | "exn-ok" -> Some Finding.R4
+  | "iface-ok" -> Some Finding.R5
+  | _ -> None
+
+(* Comments are extracted with a small hand scanner rather than the
+   compiler lexer because the lexer throws comment text away unless the
+   docstring machinery is armed, and because this must also run on
+   files that fail to parse (the exemption for a finding should not
+   vanish just because an unrelated syntax error appeared). *)
+
+let split_tag body =
+  (* body is the comment interior, already stripped of "lint:". *)
+  let body = String.trim body in
+  match String.index_opt body ' ' with
+  | None -> (body, "")
+  | Some i ->
+      ( String.sub body 0 i,
+        String.trim (String.sub body (i + 1) (String.length body - i - 1)) )
+
+let scan text =
+  let n = String.length text in
+  let entries = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let bump c = if c = '\n' then incr line in
+  (* Skip a string literal starting at the opening quote. *)
+  let skip_string () =
+    incr i;
+    let fin = ref false in
+    while (not !fin) && !i < n do
+      (match text.[!i] with
+      | '\\' -> if !i + 1 < n then (bump text.[!i + 1]; incr i)
+      | '"' -> fin := true
+      | c -> bump c);
+      incr i
+    done
+  in
+  (* Skip a {id|...|id} quoted string starting after '{'. *)
+  let skip_quoted_string () =
+    let j = ref !i in
+    while !j < n && (text.[!j] = '_' || (text.[!j] >= 'a' && text.[!j] <= 'z'))
+    do
+      incr j
+    done;
+    if !j < n && text.[!j] = '|' then begin
+      let id = String.sub text !i (!j - !i) in
+      let close = "|" ^ id ^ "}" in
+      let cl = String.length close in
+      i := !j + 1;
+      let fin = ref false in
+      while (not !fin) && !i < n do
+        if !i + cl <= n && String.sub text !i cl = close then begin
+          i := !i + cl;
+          fin := true
+        end
+        else begin
+          bump text.[!i];
+          incr i
+        end
+      done
+    end
+  in
+  while !i < n do
+    let c = text.[!i] in
+    if c = '"' then skip_string ()
+    else if c = '{' then begin
+      incr i;
+      skip_quoted_string ()
+    end
+    else if
+      c = '\''
+      && !i + 2 < n
+      && (text.[!i + 1] <> '\\' && text.[!i + 2] = '\'')
+    then i := !i + 3 (* simple char literal, e.g. '"' or '(' *)
+    else if c = '\'' && !i + 3 < n && text.[!i + 1] = '\\' && text.[!i + 3] = '\''
+    then i := !i + 4 (* escaped char literal, e.g. '\n' *)
+    else if c = '(' && !i + 1 < n && text.[!i + 1] = '*' then begin
+      (* Comment: collect the interior, tracking nesting. *)
+      i := !i + 2;
+      let buf = Buffer.create 64 in
+      let depth = ref 1 in
+      while !depth > 0 && !i < n do
+        if text.[!i] = '(' && !i + 1 < n && text.[!i + 1] = '*' then begin
+          incr depth;
+          Buffer.add_string buf "(*";
+          i := !i + 2
+        end
+        else if text.[!i] = '*' && !i + 1 < n && text.[!i + 1] = ')' then begin
+          decr depth;
+          if !depth > 0 then Buffer.add_string buf "*)";
+          i := !i + 2
+        end
+        else begin
+          bump text.[!i];
+          Buffer.add_char buf text.[!i];
+          incr i
+        end
+      done;
+      let body = Buffer.contents buf in
+      let trimmed = String.trim body in
+      let prefix = "lint:" in
+      if
+        String.length trimmed >= String.length prefix
+        && String.sub trimmed 0 (String.length prefix) = prefix
+      then begin
+        let rest =
+          String.sub trimmed (String.length prefix)
+            (String.length trimmed - String.length prefix)
+        in
+        let tag, reason = split_tag rest in
+        entries :=
+          { tag; rule = rule_of_tag tag; reason; line = !line; used = false }
+          :: !entries
+      end
+    end
+    else begin
+      bump c;
+      incr i
+    end
+  done;
+  List.rev !entries
+
+let suppresses entries rule line =
+  let matching e =
+    e.rule = Some rule
+    && e.reason <> ""
+    && line >= e.line
+    && line <= e.line + window
+  in
+  match List.find_opt matching entries with
+  | None -> false
+  | Some e ->
+      e.used <- true;
+      true

@@ -129,11 +129,15 @@ let node_count root =
 
 let sat_count mgr root =
   let n = Array.length mgr.vars in
+  if n > Sys.int_size - 2 then
+    invalid_arg "Bdd.sat_count: too many variables for an int model count";
   let memo = Hashtbl.create 64 in
   (* count of assignments to variables with rank >= from *)
   let rec go node from =
     match node with
     | Leaf false -> 0
+    (* lint: shift-ok 0 <= from <= rank bounds give n - from <= n, and
+       the entry guard rejects n > Sys.int_size - 2 *)
     | Leaf true -> 1 lsl (n - from)
     | Node { id; rank; lo; hi } -> (
         let key = (id, from) in
@@ -141,6 +145,8 @@ let sat_count mgr root =
         | Some c -> c
         | None ->
             let below = go lo (rank + 1) + go hi (rank + 1) in
+            (* lint: shift-ok rank - from < n <= Sys.int_size - 2 (entry
+               guard above) *)
             let c = below * (1 lsl (rank - from)) in
             Hashtbl.add memo key c;
             c)

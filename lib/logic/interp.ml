@@ -18,7 +18,8 @@ let subsets alphabet =
     invalid_arg
       (Printf.sprintf
          "Interp.subsets: alphabet has %d letters, limit is 25 (2^n list \
-          materialization; use the SAT-backed Models.enumerate — or \
+          materialization; the shift bound is lint rule R2. Use the \
+          SAT-backed Models.enumerate — or the wide engine \
           Models.enumerate_wide past %d letters — for larger alphabets)"
          n (Sys.int_size - 1));
   let out = ref [] in

@@ -36,7 +36,9 @@ let pack alpha m =
   Var.Set.fold
     (fun x acc ->
       match Hashtbl.find_opt alpha.index x with
-      | Some i -> acc lor (1 lsl i)
+      | Some i ->
+          assert (i < max_letters);
+          acc lor (1 lsl i)
       | None -> acc)
     m 0
 
@@ -77,6 +79,7 @@ let compile alpha (f : Formula.t) =
     | Var x -> (
         match Hashtbl.find_opt alpha.index x with
         | Some i ->
+            assert (i < max_letters);
             let bit = 1 lsl i in
             fun m -> m land bit <> 0
         | None -> fun _ -> false)
@@ -264,8 +267,9 @@ let sweep alpha pred =
     invalid_arg
       (Printf.sprintf
          "Interp_packed.sweep: alphabet has %d letters, limit is %d (2^n \
-          exceeds the native int range; use the SAT-backed \
-          Models.enumerate_wide for larger alphabets)"
+          exceeds the native int range — the overflow class lint rule R2 \
+          guards; use the SAT-backed wide engine Models.enumerate_wide \
+          for larger alphabets)"
          n max_sweep_letters);
   Revkb_obs.Obs.with_span "enum.sweep"
     ~attrs:(fun () -> [ ("n", string_of_int n) ])

@@ -33,6 +33,8 @@ let assign_false_outside alphabet f =
    says so once on stderr under --stats), so a future caller silently
    routing hot traffic through the list pipeline shows up in every
    snapshot and trace instead of just running 100x slower. *)
+(* lint: obs-ok shared with Model_based.Legacy: every legacy entry
+   point bumps the same counter so one snapshot shows them all *)
 let c_fallback_legacy = Revkb_obs.Obs.counter "models.fallback.legacy"
 
 let legacy_note =
@@ -134,6 +136,7 @@ let check_sweepable n =
 
 let for_all_codes n pred =
   check_sweepable n;
+  (* lint: shift-ok check_sweepable above asserts n <= max_sweep_letters *)
   let total = 1 lsl n in
   let chunk lo hi =
     let rec go code = code >= hi || (pred code && go (code + 1)) in
@@ -156,6 +159,7 @@ let count ?cap alphabet f =
     let alpha = Interp_packed.alphabet alphabet in
     check_sweepable (Interp_packed.size alpha);
     let pred = Interp_packed.compile alpha f in
+    (* lint: shift-ok check_sweepable above asserts the width fits *)
     let total = 1 lsl Interp_packed.size alpha in
     let chunk lo hi =
       let c = ref 0 in

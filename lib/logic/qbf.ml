@@ -26,6 +26,7 @@ let assignments xs =
   if n > 20 then invalid_arg "Qbf.expand: quantifier block too wide";
   List.init (1 lsl n) (fun code ->
       List.fold_left
+        (* lint: shift-ok i < n <= 20 (block width guarded above) *)
         (fun (m, i) x -> (Var.Map.add x (code land (1 lsl i) <> 0) m, i + 1))
         (Var.Map.empty, 0) xs
       |> fst)

@@ -5,8 +5,19 @@
 
 type cube = { value : int; mask : int }
 
+(* Cubes live in one int: the public entry points reject alphabets past
+   20 letters, and these asserted helpers keep every internal shift
+   inside that bound. *)
+let bit i =
+  assert (i <= 20);
+  1 lsl i
+
+let full_mask n =
+  assert (n <= 20);
+  (1 lsl n) - 1
+
 let covers n cube m =
-  let care = lnot cube.mask land ((1 lsl n) - 1) in
+  let care = lnot cube.mask land full_mask n in
   m land care = cube.value land care
 
 (* One pass of pairwise combination: cubes with identical masks whose
@@ -26,7 +37,7 @@ let combine_level n cubes =
     for j = i + 1 to len - 1 do
       let a = arr.(i) and b = arr.(j) in
       if a.mask = b.mask then begin
-        let care = lnot a.mask land ((1 lsl n) - 1) in
+        let care = lnot a.mask land full_mask n in
         let diff = (a.value lxor b.value) land care in
         if diff <> 0 && diff land (diff - 1) = 0 then begin
           Hashtbl.replace used a ();
@@ -106,7 +117,7 @@ let to_mask alphabet m =
   let _, code =
     List.fold_left
       (fun (i, code) x ->
-        (i + 1, if Var.Set.mem x m then code lor (1 lsl i) else code))
+        (i + 1, if Var.Set.mem x m then code lor bit i else code))
       (0, 0) alphabet
   in
   code
@@ -115,8 +126,8 @@ let cube_to_formula alphabet cube =
   let lits =
     List.mapi
       (fun i x ->
-        if cube.mask land (1 lsl i) <> 0 then None
-        else Some (Formula.lit (cube.value land (1 lsl i) <> 0) x))
+        if cube.mask land bit i <> 0 then None
+        else Some (Formula.lit (cube.value land bit i <> 0) x))
       alphabet
     |> List.filter_map Fun.id
   in
@@ -161,8 +172,8 @@ let minimize_cnf alphabet models =
         Formula.or_
           (List.mapi
              (fun i x ->
-               if cube.mask land (1 lsl i) <> 0 then None
-               else Some (Formula.lit (cube.value land (1 lsl i) = 0) x))
+               if cube.mask land bit i <> 0 then None
+               else Some (Formula.lit (cube.value land bit i = 0) x))
              alphabet
           |> List.filter_map Fun.id)
       in

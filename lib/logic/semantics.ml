@@ -12,6 +12,18 @@ let c_cache_hit = Obs.counter "sem.encode.cache_hit"
 let c_reuse = Obs.counter "sem.session.reuse"
 let c_probes = Obs.counter "sem.ladder.probes"
 
+exception Enumeration_cap_exceeded of { enumerator : string; cap : int }
+
+let () =
+  Printexc.register_printer (function
+    | Enumeration_cap_exceeded { enumerator; cap } ->
+        Some
+          (Printf.sprintf "Semantics.%s: cap exceeded (cap=%d)" enumerator cap)
+    | _ -> None)
+
+let cap_exceeded enumerator cap =
+  raise (Enumeration_cap_exceeded { enumerator; cap })
+
 type env = {
   solver : S.t;
   mutable var_map : L.t Var.Map.t;
@@ -137,6 +149,8 @@ let mask_on env alpha =
   let mask = ref 0 in
   List.iteri
     (fun i x ->
+      (* lint: shift-ok i < Interp_packed.size alpha <= max_letters: every
+         packed-mask caller checks Interp_packed.fits first *)
       if S.value env.solver (lit_of_var env x) then mask := !mask lor (1 lsl i))
     (Interp_packed.letters alpha);
   !mask
@@ -145,6 +159,8 @@ let blocking_clause_mask env alpha mask =
   List.mapi
     (fun i x ->
       let l = lit_of_var env x in
+      (* lint: shift-ok i < Interp_packed.size alpha <= max_letters (the
+         packed-mask callers check Interp_packed.fits) *)
       if mask land (1 lsl i) <> 0 then L.neg l else l)
     (Interp_packed.letters alpha)
 
@@ -261,6 +277,9 @@ module Ladder = struct
     Array.to_list
       (Array.mapi
          (fun i _ ->
+           (* lint: shift-ok i < Array.length p.letters <= max_letters:
+              one-word masks only reach here through fits-checked
+              alphabets; wide masks use pin_mask_wide below *)
            if mask land (1 lsl i) <> 0 then p.ys.(i) else L.neg p.ys.(i))
          p.letters)
 
@@ -377,7 +396,7 @@ module Session = struct
     declare s alphabet;
     with_retractable s (fun scope ->
         let rec go acc n =
-          if n > cap then failwith "Semantics.models_sat: cap exceeded"
+          if n > cap then cap_exceeded "models_sat" cap
           else if solve s ~scopes:[ scope ] [ f ] then begin
             let m = model_on s alphabet in
             block s scope alphabet m;
@@ -392,12 +411,13 @@ module Session = struct
       invalid_arg
         (Printf.sprintf
            "Semantics.masks_sat: alphabet has %d letters, limit is %d for \
-            one-word masks (use masks_sat_wide for larger alphabets)"
+            one-word masks (the bit-shift bound lint rule R2 enforces; \
+            use the wide engine masks_sat_wide for larger alphabets)"
            (Interp_packed.size alpha) Interp_packed.max_letters);
     declare s (Interp_packed.letters alpha);
     with_retractable s (fun scope ->
         let rec go acc n =
-          if n > cap then failwith "Semantics.masks_sat: cap exceeded"
+          if n > cap then cap_exceeded "masks_sat" cap
           else if solve s ~scopes:[ scope ] [ f ] then begin
             let m = mask_on s alpha in
             block_mask s scope alpha m;
@@ -414,7 +434,7 @@ module Session = struct
     declare s (Interp_packed.letters alpha);
     with_retractable s (fun scope ->
         let rec go acc n =
-          if n > cap then failwith "Semantics.masks_sat_wide: cap exceeded"
+          if n > cap then cap_exceeded "masks_sat_wide" cap
           else if solve s ~scopes:[ scope ] [ f ] then begin
             let m = mask_on_wide s alpha in
             block_mask_wide s scope alpha m;

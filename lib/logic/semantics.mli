@@ -22,6 +22,12 @@
 
 type env
 
+exception Enumeration_cap_exceeded of { enumerator : string; cap : int }
+(** A model-enumeration walk ([models_sat], [masks_sat],
+    [masks_sat_wide] or their {!Session} forms) produced more than [cap]
+    models.  Raised instead of truncating, so a silent partial model set
+    can never flow into a revision. *)
+
 val create : unit -> env
 
 val lit_of_var : env -> Var.t -> Satsolver.Lit.t
@@ -236,8 +242,9 @@ val masks_sat :
     with blocking clauses on the incremental CDCL solver, reading each
     model off as a bitmask.  This is the enumerator behind
     {!Models.enumerate} for alphabets past the brute-force cutover.
-    Requires the alphabet to fit in a mask; raises [Failure] at [cap]
-    (default 1_000_000) so truncation is never silent. *)
+    Requires the alphabet to fit in a mask; raises
+    {!Enumeration_cap_exceeded} at [cap] (default 1_000_000) so
+    truncation is never silent. *)
 
 val masks_sat_wide :
   ?cap:int -> Interp_packed.alphabet -> Formula.t -> Interp_wide.set
@@ -255,7 +262,8 @@ val models_sat : ?cap:int -> Var.t list -> Formula.t -> Interp.t list
     formula's letters are all included this is exactly its model set; with
     a sub-alphabet it is the projected model set used by query-equivalence
     checks.  [cap] (default 1_000_000) bounds the enumeration; raises
-    [Failure] if hit, so truncation can never be silent. *)
+    {!Enumeration_cap_exceeded} if hit, so truncation can never be
+    silent. *)
 
 val query_equivalent : Var.t list -> Formula.t -> Formula.t -> bool
 (** [query_equivalent alphabet a b]: do [a] and [b] have the same

@@ -11,8 +11,14 @@ let hash = Hashtbl.hash
    different ids across runs, which is why nothing user-visible may
    depend on id order — printing and alphabets speak names. *)
 let intern_mutex = Mutex.create ()
+
+(* lint: domain-safe every read and write below holds intern_mutex *)
 let table : (string, int) Hashtbl.t = Hashtbl.create 256
+
+(* lint: domain-safe guarded by intern_mutex (see table above) *)
 let names : string ref array ref = ref (Array.init 16 (fun _ -> ref ""))
+
+(* lint: domain-safe guarded by intern_mutex (see table above) *)
 let next = ref 0
 
 let name_slot i =
@@ -39,6 +45,8 @@ let named s =
   Mutex.unlock intern_mutex;
   v
 
+(* lint: domain-safe fresh holds intern_mutex around the whole
+   probe-and-increment loop *)
 let gensym = ref 0
 
 let fresh ?(prefix = "_w") () =

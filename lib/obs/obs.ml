@@ -60,6 +60,8 @@ let locked f =
 
 type counter = { c_name : string; cell : int Atomic.t }
 
+(* lint: domain-safe registry writes go through [locked]
+   (registry_mutex); bumps touch only the per-counter Atomic cell *)
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 
 let counter name =
@@ -90,6 +92,7 @@ let bucket_of v =
     min (n_buckets - 1) (bits v 0)
   end
 
+(* lint: shift-ok b < n_buckets = 63, so b - 1 <= 61 = Sys.int_size - 2 *)
 let bucket_lo b = if b = 0 then 0 else 1 lsl (b - 1)
 
 type hist = {
@@ -101,6 +104,8 @@ type hist = {
   h_buckets : int Atomic.t array;
 }
 
+(* lint: domain-safe registry writes go through [locked]
+   (registry_mutex); records touch only the per-hist Atomic cells *)
 let hists : (string, hist) Hashtbl.t = Hashtbl.create 32
 
 let hist name =
@@ -190,6 +195,8 @@ type domain_buf = {
    them.  Buffers are single-writer (their domain); merging reads them
    at quiescence — after batches complete, workers are parked — which
    is when snapshots are taken. *)
+(* lint: domain-safe appends go through [locked] (registry_mutex);
+   merges read at quiescence as described above *)
 let all_bufs : domain_buf list ref = ref []
 
 (* Global cap on stored trace events: a pathological run must exhaust

@@ -94,6 +94,8 @@ let run pool tasks =
     let batch_done = Condition.create () in
     let failure = ref None in
     let wrap f () =
+      (* lint: exn-ok pool boundary: the first task exception (whatever
+         it is) is captured and re-raised in the submitting domain *)
       (try f ()
        with e ->
          Mutex.lock pool.mutex;
@@ -165,6 +167,8 @@ let parallel_for_reduce pool ?chunks ~lo ~hi ~map ~reduce init =
 
 (* -- process-wide pool ----------------------------------------------------- *)
 
+(* lint: domain-safe written only by set_default_jobs from the
+   driver before any batch runs; workers never touch it *)
 let forced_jobs = ref None
 
 let env_jobs () =
@@ -185,7 +189,9 @@ let default_jobs () =
 
 let set_default_jobs n = forced_jobs := Some (max 1 n)
 
+(* lint: domain-safe every access is inside global_mutex (below) *)
 let global_pool = ref None
+
 let global_mutex = Mutex.create ()
 
 let global () =

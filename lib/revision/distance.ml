@@ -29,7 +29,9 @@ module Packed = struct
      story of the streaming rewrite, so its size distribution is the
      number to watch.  Recorded once per chunk, far off the
      per-candidate Frontier.add path. *)
-  let h_frontier = Obs.hist "distance.frontier_size"
+  (* lint: obs-ok shared with the Wide engine below: one histogram for
+     the antichain size regardless of which engine filled it *)
+  let h_frontier = Obs.hist "dist.frontier_size"
 
   let mu m p_models =
     require "mu" p_models;
@@ -57,7 +59,7 @@ module Packed = struct
     require "delta" t_models;
     require "delta" p_models;
     let nt = Array.length t_models and np = Array.length p_models in
-    Obs.with_span "distance.delta" ~attrs:(size_attrs nt np) (fun () ->
+    Obs.with_span "dist.delta" ~attrs:(size_attrs nt np) (fun () ->
         let pool = Pool.global () in
         if Pool.jobs pool = 1 || nt * np < parallel_threshold then
           IP.Frontier.to_set (delta_chunk t_models p_models 0 nt)
@@ -73,7 +75,7 @@ module Packed = struct
     require "k_global" t_models;
     require "k_global" p_models;
     let nt = Array.length t_models and np = Array.length p_models in
-    Obs.with_span "distance.k_global" ~attrs:(size_attrs nt np) (fun () ->
+    Obs.with_span "dist.k_global" ~attrs:(size_attrs nt np) (fun () ->
         let chunk lo hi =
           let acc = ref max_int in
           for i = lo to hi - 1 do
@@ -104,7 +106,10 @@ module Wide = struct
       invalid_arg ("Distance." ^ name ^ ": empty model set")
 
   let parallel_threshold = Packed.parallel_threshold
-  let h_frontier = Obs.hist "distance.frontier_size"
+
+  (* lint: obs-ok shared with the Packed engine above: one histogram
+     for the antichain size regardless of which engine filled it *)
+  let h_frontier = Obs.hist "dist.frontier_size"
 
   let mu m p_models =
     require "mu" p_models;
@@ -132,7 +137,7 @@ module Wide = struct
     require "delta" t_models;
     require "delta" p_models;
     let nt = Array.length t_models and np = Array.length p_models in
-    Obs.with_span "distance.delta" ~attrs:(size_attrs nt np) (fun () ->
+    Obs.with_span "dist.delta" ~attrs:(size_attrs nt np) (fun () ->
         let pool = Pool.global () in
         if Pool.jobs pool = 1 || nt * np < parallel_threshold then
           IW.Frontier.to_set (delta_chunk t_models p_models 0 nt)
@@ -148,7 +153,7 @@ module Wide = struct
     require "k_global" t_models;
     require "k_global" p_models;
     let nt = Array.length t_models and np = Array.length p_models in
-    Obs.with_span "distance.k_global" ~attrs:(size_attrs nt np) (fun () ->
+    Obs.with_span "dist.k_global" ~attrs:(size_attrs nt np) (fun () ->
         let chunk lo hi =
           let acc = ref max_int in
           for i = lo to hi - 1 do

@@ -162,6 +162,7 @@ end
 module Legacy = struct
   (* Registry-keyed: this is the same counter Models' legacy engine
      bumps, so one snapshot shows every legacy entry point. *)
+  (* lint: obs-ok shared with Models.c_fallback_legacy by design *)
   let c_fallback = Revkb_obs.Obs.counter "models.fallback.legacy"
 
   let winslett t_models p_models =

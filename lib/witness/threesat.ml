@@ -13,11 +13,9 @@ let full_universe n =
     for j = i + 1 to n - 1 do
       for k = j + 1 to n - 1 do
         for signs = 0 to 7 do
-          let lit pos v =
-            Formula.lit (signs land (1 lsl pos) = 0) v
-          in
+          let lit bit v = Formula.lit (signs land bit = 0) v in
           out :=
-            Formula.or_ [ lit 0 bs.(i); lit 1 bs.(j); lit 2 bs.(k) ]
+            Formula.or_ [ lit 1 bs.(i); lit 2 bs.(j); lit 4 bs.(k) ]
             :: !out
         done
       done

@@ -6,6 +6,8 @@ let var i = Var.named (Printf.sprintf "w%d" i)
 
 let make ~n ~m =
   if m < 1 || m > n then invalid_arg "Wide_family.make: 1 <= m <= n";
+  if m > Sys.int_size - 2 then
+    invalid_arg "Wide_family.make: m too wide for an int world count";
   let x i = Formula.var (var i) in
   let low = List.init m (fun i -> x (i + 1)) in
   let high = List.init (n - m) (fun i -> x (m + i + 1)) in
@@ -16,6 +18,7 @@ let make ~n ~m =
   { n; m; t_wide; p_wide }
 
 let letters fam = List.init fam.n (fun i -> var (i + 1))
+(* lint: shift-ok make rejects m > Sys.int_size - 2 *)
 let expected_world_count fam = (1 lsl fam.m) - 1
 let expected_dalal_distance = 1
 let world_count fam = Models.count (letters fam) fam.p_wide

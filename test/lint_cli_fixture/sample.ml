@@ -1,0 +1,5 @@
+(* Seeded violations for the revkb-lint golden CLI test: one unguarded
+   mutable global (R1) and one unbounded shift (R2). *)
+let table : (string, int) Hashtbl.t = Hashtbl.create 16
+let shift n = 1 lsl n
+let lookup k = Hashtbl.find_opt table k

@@ -44,7 +44,9 @@ let test_models_sat_projection () =
 
 let test_models_sat_cap () =
   match Semantics.models_sat ~cap:2 vars4 Formula.top with
-  | exception Failure _ -> ()
+  | exception Semantics.Enumeration_cap_exceeded { enumerator; cap } ->
+      Alcotest.(check string) "names the enumerator" "models_sat" enumerator;
+      Alcotest.(check int) "carries the cap" 2 cap
   | _ -> Alcotest.fail "cap should have been hit"
 
 let test_models_empty_alphabet () =

@@ -177,10 +177,15 @@ let test_cegar_cap_message () =
   let t = f "(a & ~b) | (~a & b)" and p = f "a | b" in
   let n = interp_of_string "a,b" in
   match Check.model_check ~cegar_cap:0 MB.Winslett t p n with
-  | exception Failure msg ->
-      check_bool "mentions cap" true (contains_substring msg "cap=0");
-      check_bool "mentions op" true (contains_substring msg "op=winslett");
-      check_bool "mentions alphabet" true
+  | exception (Check.Cegar_cap_exceeded { cap; opname; nletters } as e) ->
+      Alcotest.(check int) "carries cap" 0 cap;
+      Alcotest.(check string) "carries op" "winslett" opname;
+      Alcotest.(check int) "carries alphabet width" 2 nletters;
+      let msg = Printexc.to_string e in
+      check_bool "message mentions cap" true (contains_substring msg "cap=0");
+      check_bool "message mentions op" true
+        (contains_substring msg "op=winslett");
+      check_bool "message mentions alphabet" true
         (contains_substring msg "2-letter alphabet")
   | _ -> Alcotest.fail "expected CEGAR cap failure"
 
