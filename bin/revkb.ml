@@ -267,6 +267,128 @@ let compact_cmd =
           (Theorems 3.4/3.5, Sections 4-6).")
     term
 
+(* -- compile ------------------------------------------------------------------ *)
+
+let compile_cmd =
+  let p_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "p" ] ~docv:"FORMULA"
+          ~doc:
+            "Revise the compiled theory by this formula (on the diagrams, \
+             model-based operators only) and report/query the result.")
+  in
+  let sift_flag =
+    Arg.(
+      value & flag
+      & info [ "sift" ]
+          ~doc:"Run one Rudell sifting pass after compiling and report the \
+                reduced size.")
+  in
+  let no_force =
+    Arg.(
+      value & flag
+      & info [ "no-force" ]
+          ~doc:"Skip the FORCE structural order; use the letters in sorted \
+                order.")
+  in
+  let queries =
+    Arg.(
+      value & opt_all string []
+      & info [ "q"; "query" ] ~docv:"FORMULA"
+          ~doc:"Decide entailment against the compiled (revised) diagram; \
+                repeatable.")
+  in
+  let count_flag =
+    Arg.(
+      value & flag
+      & info [ "count" ] ~doc:"Print the model count of the compiled KB.")
+  in
+  let run () theory op p ps sift_pass no_force queries count_flag =
+    let t = Theory.conj theory in
+    let order =
+      if no_force then Some (Var.Set.elements (Formula.vars t)) else None
+    in
+    let compiled = Semantics.Compiled.compile ?order t in
+    let mgr = Semantics.Compiled.manager compiled in
+    Format.printf "letters: %d@." (List.length (Semantics.Compiled.order compiled));
+    Format.printf "order: %a@."
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+         Var.pp)
+      (Semantics.Compiled.order compiled);
+    Format.printf "theory nodes: %d@." (Semantics.Compiled.size compiled);
+    if sift_pass then begin
+      Bdd.sift mgr;
+      Format.printf "after sifting: %d nodes@." (Semantics.Compiled.size compiled)
+    end;
+    if count_flag then
+      Format.printf "models: %d@." (Semantics.Compiled.count compiled);
+    let target =
+      match p with
+      | None ->
+          if ps <> [] then begin
+            Printf.eprintf "--then requires -p\n";
+            exit 2
+          end;
+          Semantics.Compiled.root compiled
+      | Some p ->
+          let reviser =
+            match op with
+            | Revision.Operator.Winslett -> Bdd.Revise.winslett
+            | Revision.Operator.Borgida -> Bdd.Revise.borgida
+            | Revision.Operator.Forbus -> Bdd.Revise.forbus
+            | Revision.Operator.Satoh -> Bdd.Revise.satoh
+            | Revision.Operator.Dalal -> Bdd.Revise.dalal
+            | Revision.Operator.Weber -> Bdd.Revise.weber
+            | _ ->
+                Printf.eprintf
+                  "diagram revision covers the model-based operators\n";
+                exit 2
+          in
+          let steps = List.map parse_formula (p :: ps) in
+          List.iter
+            (fun q -> Bdd.extend mgr (Var.Set.elements (Formula.vars q)))
+            steps;
+          let result =
+            List.fold_left
+              (fun acc q ->
+                let qn = Bdd.of_formula mgr q in
+                Format.printf "revising nodes: %d@." (Bdd.node_count qn);
+                reviser mgr acc qn)
+              (Semantics.Compiled.root compiled)
+              steps
+          in
+          Format.printf "revised nodes: %d@." (Bdd.node_count result);
+          if count_flag then
+            Format.printf "revised models: %d@." (Bdd.sat_count mgr result);
+          result
+    in
+    List.iter
+      (fun q ->
+        let qf = parse_formula q in
+        Bdd.extend mgr (Var.Set.elements (Formula.vars qf));
+        let qn = Bdd.of_formula mgr qf in
+        Format.printf "|= %a : %b@." Formula.pp qf
+          (Bdd.is_false (Bdd.and_ target (Bdd.not_ qn))))
+      queries;
+    0
+  in
+  let term =
+    Term.(
+      const run $ jobs_term $ theory_args $ op_arg $ p_opt $ ps_arg
+      $ sift_flag $ no_force $ queries $ count_flag)
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:
+         "Compile a knowledge base to an ROBDD (the serving read path): \
+          report diagram sizes and variable orders, optionally revise on \
+          the compiled form ($(b,-o), $(b,-p)), sift, and answer \
+          entailment queries in diagram-linear time.")
+    term
+
 (* -- worlds ------------------------------------------------------------------- *)
 
 let worlds_cmd =
@@ -732,6 +854,7 @@ let () =
           [
             revise_cmd;
             compact_cmd;
+            compile_cmd;
             worlds_cmd;
             sat_cmd;
             family_cmd;

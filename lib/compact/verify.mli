@@ -18,8 +18,15 @@ val query_equivalent : Revision.Result.t -> Formula.t -> bool
     the result's model set (SAT-based enumeration with blocking
     clauses). *)
 
+val bdd_equivalent : Revision.Result.t -> Formula.t -> bool
+(** The compiled oracle: the reference model set and the candidate are
+    compiled into one BDD manager and compared by root — canonicity
+    makes equivalence a pointer test.  Candidate letters outside the
+    result's alphabet are existentially projected away first, so the
+    verdict matches {!query_equivalent}'s projected criterion. *)
+
 val report : Format.formatter -> Revision.Result.t -> Formula.t -> unit
 (** Analyzer metrics for a compact candidate next to its equivalence
     verdicts: size block ({!Revkb_analysis.Metrics}), fragment labels,
-    then [logically equivalent] / [query equivalent] against the
-    semantic revision.  Drives [revkb compact --verify]. *)
+    then [logically equivalent] / [query equivalent] / [bdd equivalent]
+    against the semantic revision.  Drives [revkb compact --verify]. *)

@@ -777,7 +777,7 @@ let check_r2 g file out =
 (* -- R3: obs-contract (per-file half) --------------------------------------- *)
 
 let obs_namespaces =
-  [ "sat"; "sem"; "pool"; "enum"; "dist"; "check"; "models"; "verify" ]
+  [ "sat"; "sem"; "pool"; "enum"; "dist"; "check"; "models"; "verify"; "bdd" ]
 
 let valid_segment s =
   s <> ""

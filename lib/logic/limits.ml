@@ -1,0 +1,22 @@
+(* Enumeration limits shared across the logic layer.
+
+   The cap exception lives at the bottom of the dependency order so that
+   both the SAT-backed enumerators in [Semantics] and the diagram-backed
+   enumerator in [Bdd] can raise the same exception without a module
+   cycle.  [Semantics] re-exports it under its historical name, so
+   existing handlers keep matching. *)
+
+exception Enumeration_cap_exceeded of { enumerator : string; cap : int }
+
+let () =
+  Printexc.register_printer (function
+    | Enumeration_cap_exceeded { enumerator; cap } ->
+        Some
+          (Printf.sprintf "%s: enumeration cap exceeded (cap=%d)" enumerator
+             cap)
+    | _ -> None)
+
+let cap_exceeded enumerator cap =
+  raise (Enumeration_cap_exceeded { enumerator; cap })
+
+let default_cap = 1_000_000

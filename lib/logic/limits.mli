@@ -1,0 +1,14 @@
+(** Enumeration limits shared across the logic layer.
+
+    Declared below both {!Semantics} and {!Bdd} in the dependency order
+    so that every enumerator — SAT-backed or diagram-backed — raises the
+    same exception.  {!Semantics.Enumeration_cap_exceeded} is a rebinding
+    of this exception, so handlers written against either name match. *)
+
+exception Enumeration_cap_exceeded of { enumerator : string; cap : int }
+
+val cap_exceeded : string -> int -> 'a
+(** [cap_exceeded enumerator cap] raises {!Enumeration_cap_exceeded}. *)
+
+val default_cap : int
+(** Shared default for [?cap] arguments (1_000_000). *)

@@ -12,14 +12,7 @@ let c_cache_hit = Obs.counter "sem.encode.cache_hit"
 let c_reuse = Obs.counter "sem.session.reuse"
 let c_probes = Obs.counter "sem.ladder.probes"
 
-exception Enumeration_cap_exceeded of { enumerator : string; cap : int }
-
-let () =
-  Printexc.register_printer (function
-    | Enumeration_cap_exceeded { enumerator; cap } ->
-        Some
-          (Printf.sprintf "Semantics.%s: cap exceeded (cap=%d)" enumerator cap)
-    | _ -> None)
+exception Enumeration_cap_exceeded = Limits.Enumeration_cap_exceeded
 
 let cap_exceeded enumerator cap =
   raise (Enumeration_cap_exceeded { enumerator; cap })
@@ -539,3 +532,56 @@ let query_equivalent alphabet a b =
   let norm = List.sort_uniq Var.Set.compare in
   let la = norm ma and lb = norm mb in
   List.length la = List.length lb && List.for_all2 Var.Set.equal la lb
+
+(* Compile-once query route: build the KB's ROBDD one time, then answer
+   entailment/equivalence queries in time linear in the diagrams.  The
+   serving counterpart of the per-query SAT path above. *)
+module Compiled = struct
+  type t = {
+    mgr : Bdd.manager;
+    root : Bdd.node;
+    base_letters : int; (* alphabet size at compile time *)
+  }
+
+  let compile ?order ?(sift = false) ?(reorder_threshold = 0) f =
+    let letters =
+      match order with
+      | Some o -> o
+      | None -> Bdd.force_order f
+    in
+    let mgr = Bdd.manager ~reorder_threshold letters in
+    (* A caller-supplied order may omit letters of [f]; appending them
+       at the bottom keeps the given prefix intact. *)
+    Bdd.extend mgr (Var.Set.elements (Formula.vars f));
+    let root = Bdd.of_formula mgr f in
+    if sift then Bdd.sift mgr;
+    { mgr; root; base_letters = List.length (Bdd.order mgr) }
+
+  let manager t = t.mgr
+  let root t = t.root
+  let size t = Bdd.node_count t.root
+  let order t = Bdd.order t.mgr
+  let sat t = not (Bdd.is_false t.root)
+
+  (* Queries may use letters outside the compiled alphabet; appending
+     them at the bottom of the order leaves the KB's diagram intact. *)
+  let import t q =
+    Bdd.extend t.mgr (Var.Set.elements (Formula.vars q));
+    Bdd.of_formula t.mgr q
+
+  let entails t q =
+    let qn = import t q in
+    Bdd.is_false (Bdd.and_ t.root (Bdd.not_ qn))
+
+  let equivalent t q = Bdd.equal t.root (import t q)
+  let ask t m = Bdd.eval t.mgr t.root m
+
+  let count t =
+    let c = Bdd.sat_count t.mgr t.root in
+    let extra = List.length (Bdd.order t.mgr) - t.base_letters in
+    (* Letters imported after compilation are unconstrained in the KB,
+       so each doubles the raw count; divide them back out. *)
+    (* lint: shift-ok extra < alphabet size, and Bdd.sat_count above
+       already rejected alphabets past Sys.int_size - 2 *)
+    c / (1 lsl extra)
+end

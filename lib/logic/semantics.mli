@@ -270,3 +270,40 @@ val query_equivalent : Var.t list -> Formula.t -> Formula.t -> bool
     consequences over the alphabet (criterion (1) of the paper)?  Decided
     by comparing projected model sets, both enumerated on one shared
     session (scoped blocking clauses, shared encodings). *)
+
+(** Compile-once query route: build the KB's ROBDD one time and answer
+    every subsequent entailment/equivalence query in time linear in the
+    diagram, instead of paying a SAT solve per query.  The third oracle
+    beside the brute-force sweeps and the SAT sessions. *)
+module Compiled : sig
+  type t
+
+  val compile :
+    ?order:Var.t list -> ?sift:bool -> ?reorder_threshold:int -> Formula.t -> t
+  (** Compile a KB.  [order] fixes the variable-order prefix (letters of
+      the formula missing from it are appended at the bottom); without it
+      the FORCE heuristic ({!Bdd.force_order}) picks a structural order.
+      [sift] runs one Rudell sifting pass after compilation;
+      [reorder_threshold] arms automatic sifting during and after it. *)
+
+  val manager : t -> Bdd.manager
+  val root : t -> Bdd.node
+  val size : t -> int
+  (** Diagram node count — the compiled-size metric reported by
+      [revkb compile] and the compilation bench. *)
+
+  val order : t -> Var.t list
+  val sat : t -> bool
+
+  val entails : t -> Formula.t -> bool
+  (** Linear in the diagrams; query letters outside the compiled
+      alphabet are appended below it, which never disturbs the KB. *)
+
+  val equivalent : t -> Formula.t -> bool
+  (** Canonicity makes this a root comparison after compiling the
+      query. *)
+
+  val ask : t -> Interp.t -> bool
+  val count : t -> int
+  (** Model count over the alphabet the KB was compiled with. *)
+end
