@@ -1,0 +1,76 @@
+(* Observatory section: compare the newest run of every (bench, n,
+   jobs) key in BENCH_history.jsonl against the median/MAD of its
+   predecessors (see Revkb_obs.History for the statistics and the row
+   format).  Self-gating: fewer than History.min_history baseline rows
+   for a key yields a note, not a verdict, so a fresh checkout — or a
+   CI runner whose history cache is cold — passes trivially.  Only a
+   confirmed regression (>3 MAD and >10% over the median) exits 1. *)
+
+module H = Revkb_obs.History
+
+let run () =
+  Report.section "Perf-regression observatory (bench history)";
+  let path = H.default_path () in
+  let rows, skipped = H.load path in
+  if skipped > 0 then
+    Printf.printf "  [%d malformed line(s) in %s skipped]\n" skipped path;
+  if rows = [] then
+    Printf.printf
+      "  no history at %s yet; timing/parallel/incremental/compilation\n\
+      \  sections append rows as they run.\n"
+      path
+  else begin
+    let reports = H.check rows in
+    Report.para
+      (Printf.sprintf
+         "  %d row(s), %d key(s) in %s; verdict per key: newest vs\n\
+         \  median/MAD of its predecessors (min %d baseline runs)."
+         (List.length rows) (List.length reports) path H.min_history);
+    Report.table
+      [ "bench"; "n"; "jobs"; "runs"; "current"; "median"; "mad"; "verdict" ]
+      (List.map
+         (fun (p : H.report) ->
+           let stats, verdict =
+             match p.p_verdict with
+             | H.Insufficient k ->
+                 (("-", "-"), Printf.sprintf "insufficient (%d run(s))" k)
+             | H.Accepted { v_median; v_mad } ->
+                 ( ( Printf.sprintf "%.2f ms" v_median,
+                     Printf.sprintf "%.2f" v_mad ),
+                   "ok" )
+             | H.Regressed { v_median; v_mad } ->
+                 ( ( Printf.sprintf "%.2f ms" v_median,
+                     Printf.sprintf "%.2f" v_mad ),
+                   "REGRESSED" )
+           in
+           [
+             p.p_bench;
+             string_of_int p.p_n;
+             string_of_int p.p_jobs;
+             string_of_int p.p_runs;
+             Printf.sprintf "%.2f ms" p.p_current;
+             fst stats;
+             snd stats;
+             verdict;
+           ])
+         reports);
+    let regressed =
+      List.filter
+        (fun (p : H.report) ->
+          match p.p_verdict with H.Regressed _ -> true | _ -> false)
+        reports
+    in
+    if regressed <> [] then begin
+      List.iter
+        (fun (p : H.report) ->
+          match p.p_verdict with
+          | H.Regressed { v_median; v_mad } ->
+              Printf.eprintf
+                "REGRESSION: %s (n=%d, jobs=%d): %.2fms vs median %.2fms \
+                 (mad %.2f, %d runs)\n"
+                p.p_bench p.p_n p.p_jobs p.p_current v_median v_mad p.p_runs
+          | _ -> ())
+        regressed;
+      exit 1
+    end
+  end

@@ -215,12 +215,30 @@ let write_json rows =
 let builds_reduction r =
   float_of_int r.fresh_builds /. float_of_int (max 1 r.session_builds)
 
+(* Session wall appended per run: the observatory watches the absolute
+   cost of the incremental path across check-ins, complementing the
+   in-process fresh-vs-session gate below. *)
+let append_history rows =
+  Revkb_obs.History.append
+    (Revkb_obs.History.default_path ())
+    (List.map
+       (fun r ->
+         {
+           Revkb_obs.History.r_bench = "incremental/" ^ r.bench;
+           r_n = r.n;
+           r_jobs = Revkb_parallel.Pool.default_jobs ();
+           r_wall_ms = r.session_ms;
+           r_ts = Unix.gettimeofday ();
+         })
+       rows)
+
 let gate rows =
   let failures = ref [] in
   let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
   List.iter
     (fun r ->
-      if r.session_ms > 1.1 *. r.fresh_ms then
+      if Revkb_obs.History.wall_regressed ~baseline:r.fresh_ms ~current:r.session_ms
+      then
         fail "%s (n=%d): session wall %.2fms > 1.1x fresh %.2fms" r.bench r.n
           r.session_ms r.fresh_ms;
       if
@@ -261,4 +279,5 @@ let run () =
          ])
        rows);
   write_json rows;
+  append_history rows;
   gate rows

@@ -27,6 +27,29 @@ let add ?(metrics = []) ~bench ~n ~jobs ~wall_ms ~speedup () =
 let path () =
   Option.value (Sys.getenv_opt "REVKB_BENCH_JSON") ~default:"BENCH_parallel.json"
 
+(* Every row also lands in the perf-regression history
+   (BENCH_history.jsonl), which only ever grows.  [write] runs once per
+   section but the row list spans the whole process, so the history
+   append must cover only rows not appended by an earlier [write] —
+   [appended] counts those. *)
+(* lint: domain-safe single-domain bench driver, see [rows] *)
+let appended = ref 0
+
+let append_history all =
+  let fresh =
+    List.filteri (fun i _ -> i >= !appended) all
+    |> List.map (fun r ->
+           {
+             Revkb_obs.History.r_bench = r.bench;
+             r_n = r.n;
+             r_jobs = r.jobs;
+             r_wall_ms = r.wall_ms;
+             r_ts = Unix.gettimeofday ();
+           })
+  in
+  Revkb_obs.History.append (Revkb_obs.History.default_path ()) fresh;
+  appended := List.length all
+
 let json_of_row r =
   let b = Buffer.create 128 in
   Buffer.add_string b
@@ -54,6 +77,7 @@ let write () =
   let file = path () in
   let oc = open_out file in
   let all = List.rev !rows in
+  append_history all;
   let last = List.length all - 1 in
   output_string oc "[\n";
   List.iteri

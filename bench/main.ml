@@ -5,7 +5,13 @@
      dune exec bench/main.exe -- SECTION…  # run selected sections
 
    Sections: examples figure1 explosion table1 table2 size_audit postulates
-   compilation timing parallel incremental boundary *)
+   compilation timing parallel incremental boundary history
+
+   Observability: REVKB_PROFILE=FILE samples the whole run into
+   collapsed stacks; REVKB_METRICS_OUT=FILE writes an OpenMetrics
+   snapshot at exit; the timing/parallel/incremental/compilation
+   sections append wall-time rows to BENCH_history.jsonl, which the
+   [history] section judges for regressions. *)
 
 let sections =
   [
@@ -21,9 +27,25 @@ let sections =
     ("parallel", Parallel_bench.run);
     ("incremental", Incremental.run);
     ("boundary", Boundary.run);
+    ("history", History.run);
   ]
 
 let () =
+  Revkb_obs.Profile.start_from_env ();
+  (match Sys.getenv_opt "REVKB_METRICS_OUT" with
+  | None | Some "" -> ()
+  | Some path ->
+      Revkb_obs.Obs.set_enabled true;
+      Revkb_obs.Gcstats.enable ();
+      let write () =
+        Revkb_obs.Gcstats.sample ();
+        let oc = open_out path in
+        output_string oc
+          (Revkb_obs.Export.openmetrics (Revkb_obs.Obs.snapshot ()));
+        close_out oc
+      in
+      at_exit write;
+      Revkb_obs.Obs.register_flusher write);
   let requested =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as args) -> args

@@ -247,13 +247,15 @@ let run () =
   end;
   (* Regression gate for the one-word fast path: these instances all fit
      one word, and the packed engine historically beats the list engine
-     by an order of magnitude.  A speedup below 0.9 means the packed
-     path got >10% slower than the legacy baseline — way outside
-     measurement noise at that margin — so fail the bench loudly rather
-     than let the artifact quietly record the regression. *)
+     by an order of magnitude.  The repo-wide [History.wall_regressed]
+     predicate (>10% wall growth over the baseline — here, the legacy
+     engine) decides; that margin is way outside measurement noise, so
+     fail the bench loudly rather than let the artifact quietly record
+     the regression. *)
   let regressions =
     List.filter
-      (fun (_, legacy_ns, packed_ns) -> legacy_ns /. packed_ns < 0.9)
+      (fun (_, legacy_ns, packed_ns) ->
+        Revkb_obs.History.wall_regressed ~baseline:legacy_ns ~current:packed_ns)
       speedups
   in
   if regressions <> [] then begin
@@ -261,7 +263,7 @@ let run () =
       (fun (base, legacy_ns, packed_ns) ->
         Printf.eprintf
           "timing: one-word packed path regressed on %s: %.2fx vs legacy \
-           (threshold 0.9x)\n"
+           (threshold: >10%% wall growth)\n"
           base (legacy_ns /. packed_ns))
       regressions;
     Json_out.write ();

@@ -25,6 +25,25 @@
 open Cmdliner
 open Logic
 module Obs = Revkb_obs.Obs
+module Gcstats = Revkb_obs.Gcstats
+module Profile = Revkb_obs.Profile
+
+(* Telemetry writers are registered on both exit paths: [at_exit] for
+   normal termination, and {!Obs.register_flusher} so SIGINT/SIGTERM
+   snapshot-and-write before the process re-raises and dies by the
+   signal.  Only one path ever runs a given writer (the signal path
+   bypasses [at_exit]), but the guard makes each writer idempotent
+   regardless. *)
+let register_writer f =
+  let written = ref false in
+  let once () =
+    if not !written then begin
+      written := true;
+      f ()
+    end
+  in
+  at_exit once;
+  Obs.register_flusher once
 
 (* The at_exit snapshot prints to stderr: golden CLI tests diff stdout,
    so CI can run the whole suite under REVKB_STATS=1 without churn. *)
@@ -36,7 +55,9 @@ let enable_stats () =
   Obs.set_enabled true;
   if not !stats_hook then begin
     stats_hook := true;
-    at_exit (fun () ->
+    Gcstats.enable ();
+    register_writer (fun () ->
+        Gcstats.sample ();
         prerr_string (Revkb_obs.Export.table (Obs.snapshot ())))
   end
 
@@ -804,7 +825,7 @@ let trace_prescan argv =
         let path = !out in
         Obs.set_tracing true;
         enable_stats ();
-        at_exit (fun () ->
+        register_writer (fun () ->
             let events = Obs.trace_events () in
             let oc = open_out path in
             output_string oc (Revkb_obs.Export.chrome_trace events);
@@ -817,6 +838,126 @@ let trace_prescan argv =
               path);
         Array.of_list (argv.(0) :: sub)
   end
+
+(* -- profile ------------------------------------------------------------------ *)
+
+(* [revkb profile [-o FILE] [--hz N] SUBCMD ARGS...] — the same
+   pre-scan shape as [trace]: profiler options must precede the wrapped
+   subcommand, which is then re-evaluated against the normal command
+   group with its own arguments untouched. *)
+let profile_prescan argv =
+  let n = Array.length argv in
+  if n < 2 || argv.(1) <> "profile" then argv
+  else begin
+    let out = ref "profile.folded" in
+    let hz = ref 99 in
+    let rec scan i =
+      if i >= n then []
+      else
+        match argv.(i) with
+        | "-o" | "--output" ->
+            if i + 1 >= n then begin
+              prerr_endline "revkb profile: -o requires a file argument";
+              exit 2
+            end;
+            out := argv.(i + 1);
+            scan (i + 2)
+        | "--hz" ->
+            if i + 1 >= n then begin
+              prerr_endline "revkb profile: --hz requires an integer argument";
+              exit 2
+            end;
+            (match int_of_string_opt argv.(i + 1) with
+            | Some v when v >= 1 && v <= 1000 -> hz := v
+            | _ ->
+                Printf.eprintf
+                  "revkb profile: invalid --hz %S (range 1..1000)\n"
+                  argv.(i + 1);
+                exit 2);
+            scan (i + 2)
+        | _ -> Array.to_list (Array.sub argv i (n - i))
+    in
+    match scan 2 with
+    | [] ->
+        prerr_endline
+          "revkb profile: missing a subcommand to profile\n\
+           usage: revkb profile [-o FILE] [--hz N] SUBCMD ARGS...";
+        exit 2
+    | sub ->
+        let path = !out in
+        (* Spans feed sample attribution, so recording goes on. *)
+        enable_stats ();
+        Profile.start ~hz:!hz ();
+        register_writer (fun () ->
+            Profile.stop ();
+            let stacks = Profile.write path in
+            Printf.eprintf "profile: %d sample(s), %d stack(s)%s -> %s\n%!"
+              (Profile.sample_count ()) (List.length stacks)
+              (let d = Profile.dropped () in
+               if d > 0 then Printf.sprintf ", %d dropped" d else "")
+              path);
+        Array.of_list (argv.(0) :: sub)
+  end
+
+(* Documentation stub, like [trace_cmd]. *)
+let profile_cmd =
+  let term =
+    Term.(
+      ret
+        (const
+           (`Error
+              (true, "usage: revkb profile [-o FILE] [--hz N] SUBCMD ARGS..."))))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run any subcommand under the wall-clock sampling profiler \
+          (SIGALRM at $(b,--hz) samples/second, default 99) and write \
+          collapsed stacks (default $(b,profile.folded), or $(b,-o) \
+          FILE) in the folded format flamegraph.pl and speedscope read \
+          directly.  Samples are attributed to the innermost open span \
+          via a synthetic [span] root frame.  Profiler options must \
+          precede the wrapped subcommand; everything after it is passed \
+          through verbatim.")
+    term
+
+(* -- metrics ------------------------------------------------------------------ *)
+
+(* [--metrics-out FILE] is accepted anywhere on any subcommand's
+   command line, so it too is an argv pre-scan: the flag (and its
+   argument) are stripped before cmdliner sees them, recording is
+   turned on, and the final snapshot is written as an OpenMetrics text
+   exposition — also on fatal signals, via [register_writer]. *)
+let metrics_prescan argv =
+  let n = Array.length argv in
+  let out = ref None in
+  let keep = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    (match argv.(!i) with
+    | "--metrics-out" ->
+        if !i + 1 >= n then begin
+          prerr_endline "revkb: --metrics-out requires a file argument";
+          exit 2
+        end;
+        out := Some argv.(!i + 1);
+        incr i
+    | s when String.length s > 14 && String.sub s 0 14 = "--metrics-out=" ->
+        out := Some (String.sub s 14 (String.length s - 14))
+    | s -> keep := s :: !keep);
+    incr i
+  done;
+  match !out with
+  | None -> argv
+  | Some path ->
+      Obs.set_enabled true;
+      Gcstats.enable ();
+      register_writer (fun () ->
+          Gcstats.sample ();
+          let oc = open_out path in
+          output_string oc (Revkb_obs.Export.openmetrics (Obs.snapshot ()));
+          close_out oc);
+      Array.of_list (List.rev !keep)
 
 (* Documentation stub: the pre-scan intercepts any real invocation, so
    this term only renders help ([revkb help trace]). *)
@@ -848,8 +989,16 @@ let () =
          witness families from 'The Size of a Revised Knowledge Base' \
          (PODS'95)."
   in
+  (* [--metrics-out] can sit anywhere, so it is stripped once up
+     front; [trace] and [profile] wrap a subcommand each, and the
+     fixpoint lets them compose in either order ([revkb trace profile
+     SUBCMD ...] profiles inside a trace and vice versa). *)
+  let rec prescan argv =
+    let argv' = profile_prescan (trace_prescan argv) in
+    if argv' == argv then argv else prescan argv'
+  in
   exit
-    (Cmd.eval' ~argv:(trace_prescan Sys.argv)
+    (Cmd.eval' ~argv:(prescan (metrics_prescan Sys.argv))
        (Cmd.group ~default info
           [
             revise_cmd;
@@ -862,4 +1011,5 @@ let () =
             analyze_cmd;
             repl_cmd;
             trace_cmd;
+            profile_cmd;
           ]))

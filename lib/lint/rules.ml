@@ -777,7 +777,10 @@ let check_r2 g file out =
 (* -- R3: obs-contract (per-file half) --------------------------------------- *)
 
 let obs_namespaces =
-  [ "sat"; "sem"; "pool"; "enum"; "dist"; "check"; "models"; "verify"; "bdd" ]
+  [
+    "sat"; "sem"; "pool"; "enum"; "dist"; "check"; "models"; "verify"; "bdd";
+    "gc"; "prof";
+  ]
 
 let valid_segment s =
   s <> ""

@@ -33,6 +33,13 @@ let json_float f =
         (Printf.sprintf "Export.json_float: non-finite value (%h)" f)
   | _ -> Printf.sprintf "%.6g" f
 
+let metric_float f =
+  match Float.classify_float f with
+  | FP_nan | FP_infinite ->
+      invalid_arg
+        (Printf.sprintf "Export.metric_float: non-finite value (%h)" f)
+  | _ -> Printf.sprintf "%.9g" f
+
 (* -- human table ------------------------------------------------------------ *)
 
 let ms_of_us us = float_of_int us /. 1000.
@@ -122,6 +129,75 @@ let json_lines (s : Obs.snapshot) =
             ("max_us", string_of_int st.s_max_us);
           ])
     s.spans;
+  Buffer.contents buf
+
+(* -- OpenMetrics ------------------------------------------------------------ *)
+
+(* The OpenMetrics / Prometheus text exposition format, so a scrape of
+   a [--metrics-out] artifact (or a future serve-daemon endpoint) needs
+   no custom parsing.  Mapping:
+
+   - counters -> counter families: [revkb_<name>_total];
+   - histograms -> histogram families with the registry's power-of-two
+     buckets rendered cumulatively.  [le] labels are inclusive, so
+     bucket 0 (values <= 1) is le="1" and a bucket with inclusive lower
+     bound lo >= 2 covering [lo, 2*lo) is le="2*lo-1"; the mandatory
+     le="+Inf" bucket equals the total count.  Empty histograms still
+     emit +Inf/sum/count (all zero) — scrapers treat a family with no
+     samples as a parse error;
+   - spans -> summary families in seconds ([_seconds_count] /
+     [_seconds_sum]), the conventional unit for Prometheus durations.
+
+   Metric names are the registry names with every character outside
+   [a-zA-Z0-9_:] replaced by '_' and a "revkb_" prefix (which also
+   guarantees a legal leading character).  All float values go through
+   [metric_float]: NaN/infinity aborts the export rather than emitting
+   a token some scrapers accept and others reject.  Output terminates
+   with "# EOF" as the OpenMetrics spec requires. *)
+
+let metric_name n =
+  let b = Bytes.of_string n in
+  Bytes.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ()
+      | _ -> Bytes.set b i '_')
+    b;
+  "revkb_" ^ Bytes.to_string b
+
+let openmetrics (s : Obs.snapshot) =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string buf (l ^ "\n")) fmt in
+  List.iter
+    (fun (n, v) ->
+      let m = metric_name n in
+      line "# TYPE %s counter" m;
+      line "%s_total %d" m v)
+    s.counters;
+  List.iter
+    (fun (n, (d : Obs.dist)) ->
+      let m = metric_name n in
+      line "# TYPE %s histogram" m;
+      let cum = ref 0 in
+      List.iter
+        (fun (lo, c) ->
+          cum := !cum + c;
+          let le = if lo <= 1 then 1 else (2 * lo) - 1 in
+          line "%s_bucket{le=\"%d\"} %d" m le !cum)
+        d.buckets;
+      line "%s_bucket{le=\"+Inf\"} %d" m d.count;
+      line "%s_sum %d" m d.sum;
+      line "%s_count %d" m d.count)
+    s.hists;
+  List.iter
+    (fun (n, (st : Obs.span_stat)) ->
+      let m = metric_name n ^ "_seconds" in
+      line "# TYPE %s summary" m;
+      line "%s_count %d" m st.s_count;
+      line "%s_sum %s" m
+        (metric_float (float_of_int st.s_total_us /. 1e6)))
+    s.spans;
+  Buffer.add_string buf "# EOF\n";
   Buffer.contents buf
 
 (* -- Chrome trace_event ----------------------------------------------------- *)

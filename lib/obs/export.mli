@@ -19,6 +19,12 @@ val json_float : float -> string
     infinities, which JSON cannot represent — an emitter must fail
     loudly rather than write an unparseable artifact. *)
 
+val metric_float : float -> string
+(** Render a finite float for the OpenMetrics text format; raises
+    [Invalid_argument] on NaN or infinities — some scrapers accept
+    those tokens and others reject them, so the exporter refuses to
+    emit them at all. *)
+
 (** {1 Snapshot renderers} *)
 
 val table : Obs.snapshot -> string
@@ -29,6 +35,18 @@ val table : Obs.snapshot -> string
 val json_lines : Obs.snapshot -> string
 (** One self-describing JSON object per line
     ([{"type": "counter", "name": ..., ...}]). *)
+
+val openmetrics : Obs.snapshot -> string
+(** The OpenMetrics / Prometheus text exposition of a snapshot.
+    Counters become [revkb_<name>_total] counter families; histograms
+    become histogram families with cumulative power-of-two buckets
+    (inclusive [le] labels: bucket 0 is [le="1"], a bucket with lower
+    bound [lo >= 2] is [le="2*lo-1"], and the mandatory [le="+Inf"]
+    row equals the count — present even for empty histograms); spans
+    become [_seconds] summaries ([_count]/[_sum], sum in seconds).
+    Metric names are sanitized ([.] and any other character outside
+    [[a-zA-Z0-9_:]] become [_]) and prefixed [revkb_].  The output ends
+    with the spec-mandated [# EOF] line. *)
 
 (** {1 Chrome trace} *)
 

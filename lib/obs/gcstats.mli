@@ -1,0 +1,47 @@
+(** GC and allocation telemetry on the {!Obs} registry.
+
+    {!sample} publishes [Gc.quick_stat] deltas as [gc.*] metrics:
+    [gc.minor_collections], [gc.major_collections], [gc.compactions]
+    and [gc.allocated_words] counters (monotone deltas), plus
+    [gc.heap_words] (major-heap size observations) and [gc.alloc_rate]
+    (words/second per sampling window) histograms.  They merge into
+    every snapshot and exporter for free.
+
+    Sampling points: the CLI/bench writers call {!sample} right before
+    their final snapshot, and after {!enable} every recorded span exit
+    samples too — rate-limited to one [quick_stat] per
+    [REVKB_GC_TICK_MS] milliseconds (default 10). *)
+
+val sample : unit -> unit
+(** Read [Gc.quick_stat] and publish the delta since the previous
+    sample.  Thread-safe; a contended call is skipped. *)
+
+val enable : unit -> unit
+(** Take a priming sample and install the rate-limited span-boundary
+    sampler (via {!Obs.set_span_exit_hook}). *)
+
+val disable : unit -> unit
+(** Remove the span-boundary sampler. *)
+
+(** {1 Allocation budgets}
+
+    A [Gc.Memprof]-free assertion mode for the zero-allocation promises
+    the hot paths make (the BDD op-cache probe, the packed distance
+    Frontier): wrap the region, give it a byte budget, and overruns
+    bump [gc.budget_violations] — or raise, when assertions are on
+    ([REVKB_ALLOC_ASSERT=1] or {!set_assert_budgets}). *)
+
+exception
+  Budget_exceeded of { site : string; budget_bytes : int; allocated_bytes : int }
+
+val with_alloc_budget : site:string -> budget_bytes:int -> (unit -> 'a) -> 'a
+(** Run [f], measuring this domain's allocation via
+    [Gc.allocated_bytes] (probe cost calibrated out).  Over budget:
+    bump [gc.budget_violations], and raise {!Budget_exceeded} when
+    assertions are on.  Exceptions from [f] pass through unmeasured. *)
+
+val set_assert_budgets : bool -> unit
+val assert_budgets : unit -> bool
+
+val violations : unit -> int
+(** Current value of the [gc.budget_violations] counter. *)

@@ -1,0 +1,242 @@
+(* Perf-regression observatory.
+
+   The bench runners append one NDJSON row per measurement to a history
+   file (BENCH_history.jsonl; a local artifact, not tracked — see
+   .gitignore / README).  Each row carries the (bench, n, jobs) key,
+   the measured wall time, and an epoch timestamp.  [check] then judges
+   the newest row of every key against the distribution of its
+   predecessors with robust statistics:
+
+     regressed  iff  current - median > 3 * MAD
+                and  current > 1.1 * median
+
+   Median and MAD (median absolute deviation) instead of mean/stddev
+   because wall-clock bench history on shared machines is exactly the
+   data mean/stddev is worst at: one noisy run inflates a stddev gate
+   enough to wave real regressions through, while the median of the
+   last k runs barely moves.  The conjunction keeps both failure modes
+   out: the 3-MAD arm ignores absolute-but-tiny growth on
+   microsecond-scale rows whose MAD is near zero would otherwise
+   trip — hence the second arm requiring >10% relative growth too —
+   and the 10% arm alone would flag stable-but-noisy rows, hence the
+   3-MAD arm.
+
+   [wall_regressed] is the shared >10%-growth predicate; the
+   incremental and timing bench gates use it instead of hand-rolled
+   per-bench thresholds, so "what counts as a wall-time regression" is
+   defined in exactly one place.
+
+   Parsing: the loader reads only the NDJSON this module's own
+   [line_of_row] writes (flat object, string/number fields).  It is a
+   field extractor, not a JSON parser — unknown fields are ignored and
+   malformed lines are skipped with a count, so a corrupted line
+   (interrupted append, merge artifact) costs one row, not the file. *)
+
+type row = {
+  r_bench : string;
+  r_n : int;
+  r_jobs : int;
+  r_wall_ms : float;
+  r_ts : float; (* unix epoch seconds at append time *)
+}
+
+let default_path () =
+  Option.value
+    (Sys.getenv_opt "REVKB_BENCH_HISTORY")
+    ~default:"BENCH_history.jsonl"
+
+(* -- writing ---------------------------------------------------------------- *)
+
+let line_of_row r =
+  (* [ts] gets fixed-point millisecond rendering: the %.6g of
+     [json_float] would round an epoch timestamp to ~3-hour
+     granularity.  Finiteness is still enforced. *)
+  ignore (Export.json_float r.r_ts);
+  Printf.sprintf
+    "{\"bench\": %s, \"n\": %d, \"jobs\": %d, \"wall_ms\": %s, \"ts\": %.3f}"
+    (Export.json_string r.r_bench)
+    r.r_n r.r_jobs
+    (Export.json_float r.r_wall_ms)
+    r.r_ts
+
+let append path rows =
+  if rows <> [] then begin
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+    List.iter (fun r -> output_string oc (line_of_row r ^ "\n")) rows;
+    close_out oc
+  end
+
+(* -- loading ---------------------------------------------------------------- *)
+
+(* Position just past [: ] of ["key": ] in [line], if present. *)
+let value_start line key =
+  let pat = "\"" ^ key ^ "\"" in
+  let n = String.length line and m = String.length pat in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub line i m = pat then begin
+      let j = ref (i + m) in
+      while !j < n && (line.[!j] = ' ' || line.[!j] = ':') do
+        incr j
+      done;
+      Some !j
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let field_string line key =
+  match value_start line key with
+  | None -> None
+  | Some j ->
+      let n = String.length line in
+      if j >= n || line.[j] <> '"' then None
+      else begin
+        let b = Buffer.create 16 in
+        let rec go i =
+          if i >= n then None
+          else
+            match line.[i] with
+            | '"' -> Some (Buffer.contents b)
+            | '\\' when i + 1 < n ->
+                Buffer.add_char b line.[i + 1];
+                go (i + 2)
+            | c ->
+                Buffer.add_char b c;
+                go (i + 1)
+        in
+        go (j + 1)
+      end
+
+let field_float line key =
+  match value_start line key with
+  | None -> None
+  | Some j ->
+      let n = String.length line in
+      let k = ref j in
+      while
+        !k < n
+        &&
+        match line.[!k] with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      do
+        incr k
+      done;
+      if !k = j then None else float_of_string_opt (String.sub line j (!k - j))
+
+let row_of_line line =
+  match
+    ( field_string line "bench",
+      field_float line "n",
+      field_float line "jobs",
+      field_float line "wall_ms" )
+  with
+  | Some bench, Some n, Some jobs, Some wall_ms ->
+      Some
+        {
+          r_bench = bench;
+          r_n = int_of_float n;
+          r_jobs = int_of_float jobs;
+          r_wall_ms = wall_ms;
+          r_ts = Option.value (field_float line "ts") ~default:0.;
+        }
+  | _ -> None
+
+let load path =
+  if not (Sys.file_exists path) then ([], 0)
+  else begin
+    let ic = open_in path in
+    let rows = ref [] and skipped = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.trim line <> "" then
+           match row_of_line line with
+           | Some r -> rows := r :: !rows
+           | None -> incr skipped
+       done
+     with End_of_file -> ());
+    close_in ic;
+    (List.rev !rows, !skipped)
+  end
+
+(* -- statistics ------------------------------------------------------------- *)
+
+let median xs =
+  match List.sort Float.compare xs with
+  | [] -> invalid_arg "History.median: empty sample"
+  | sorted ->
+      let a = Array.of_list sorted in
+      let k = Array.length a in
+      if k mod 2 = 1 then a.(k / 2) else (a.((k / 2) - 1) +. a.(k / 2)) /. 2.
+
+let mad xs =
+  let m = median xs in
+  median (List.map (fun x -> Float.abs (x -. m)) xs)
+
+let wall_regressed ~baseline ~current = current > 1.1 *. baseline
+
+(* -- verdicts --------------------------------------------------------------- *)
+
+let min_history = 3
+
+type verdict =
+  | Insufficient of int
+  | Accepted of { v_median : float; v_mad : float }
+  | Regressed of { v_median : float; v_mad : float }
+
+let judge ~history ~current =
+  let k = List.length history in
+  if k < min_history then Insufficient k
+  else begin
+    let m = median history and d = mad history in
+    if current -. m > 3. *. d && wall_regressed ~baseline:m ~current then
+      Regressed { v_median = m; v_mad = d }
+    else Accepted { v_median = m; v_mad = d }
+  end
+
+type report = {
+  p_bench : string;
+  p_n : int;
+  p_jobs : int;
+  p_runs : int; (* history rows behind the verdict *)
+  p_current : float;
+  p_verdict : verdict;
+}
+
+let check rows =
+  (* Group by key, preserving both first-seen key order and the
+     per-key append order (file order = chronological order). *)
+  let keys = ref [] in
+  let tbl : (string * int * int, row list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let key = (r.r_bench, r.r_n, r.r_jobs) in
+      match Hashtbl.find_opt tbl key with
+      | Some l -> l := r :: !l
+      | None ->
+          keys := key :: !keys;
+          Hashtbl.add tbl key (ref [ r ]))
+    rows;
+  List.rev_map
+    (fun ((bench, n, jobs) as key) ->
+      match List.rev !(Hashtbl.find tbl key) with
+      | [] -> assert false
+      | chronological ->
+          let current = List.nth chronological (List.length chronological - 1) in
+          let history =
+            List.filteri
+              (fun i _ -> i < List.length chronological - 1)
+              chronological
+            |> List.map (fun r -> r.r_wall_ms)
+          in
+          {
+            p_bench = bench;
+            p_n = n;
+            p_jobs = jobs;
+            p_runs = List.length history;
+            p_current = current.r_wall_ms;
+            p_verdict = judge ~history ~current:current.r_wall_ms;
+          })
+    !keys

@@ -1,0 +1,73 @@
+(** Perf-regression observatory over NDJSON bench history.
+
+    The bench runners append one row per measurement to
+    [BENCH_history.jsonl] (override via [REVKB_BENCH_HISTORY]); {!check}
+    judges the newest row of each (bench, n, jobs) key against the
+    median/MAD of its predecessors.  A row regresses iff it exceeds the
+    baseline median by more than 3 MADs {e and} by more than 10% — the
+    conjunction keeps near-zero-MAD keys from tripping on noise and
+    noisy keys from hiding real growth.  {!wall_regressed} is the
+    shared 10%-growth predicate the bench gates reuse. *)
+
+type row = {
+  r_bench : string;
+  r_n : int;
+  r_jobs : int;
+  r_wall_ms : float;
+  r_ts : float;  (** unix epoch seconds at append time *)
+}
+
+val default_path : unit -> string
+(** [$REVKB_BENCH_HISTORY], or ["BENCH_history.jsonl"]. *)
+
+val line_of_row : row -> string
+(** One flat NDJSON object, no trailing newline.  Strings/floats go
+    through the shared {!Export} primitives (escaped, finite). *)
+
+val append : string -> row list -> unit
+(** Append rows to the history file (created if absent); a no-op on
+    the empty list. *)
+
+val load : string -> row list * int
+(** Rows in file order plus the count of skipped (malformed) lines.
+    A missing file is [([], 0)].  Only the shape {!line_of_row} writes
+    is recognized; unknown fields are ignored. *)
+
+(** {1 Statistics} *)
+
+val median : float list -> float
+(** Raises [Invalid_argument] on the empty list. *)
+
+val mad : float list -> float
+(** Median absolute deviation from the median. *)
+
+val wall_regressed : baseline:float -> current:float -> bool
+(** The repo-wide wall-time regression predicate:
+    [current > 1.1 *. baseline]. *)
+
+(** {1 Verdicts} *)
+
+val min_history : int
+(** Baseline rows required before a verdict is attempted (3). *)
+
+type verdict =
+  | Insufficient of int  (** history rows present, < {!min_history} *)
+  | Accepted of { v_median : float; v_mad : float }
+  | Regressed of { v_median : float; v_mad : float }
+
+val judge : history:float list -> current:float -> verdict
+(** [Regressed] iff [current - median > 3 * mad] {e and}
+    {!wall_regressed} over the history median. *)
+
+type report = {
+  p_bench : string;
+  p_n : int;
+  p_jobs : int;
+  p_runs : int;  (** history rows behind the verdict *)
+  p_current : float;
+  p_verdict : verdict;
+}
+
+val check : row list -> report list
+(** Group rows by (bench, n, jobs) in first-seen key order; per key the
+    last row (file order is chronological) is judged against the rest. *)

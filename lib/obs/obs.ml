@@ -189,6 +189,12 @@ type domain_buf = {
   aggs : (string, sagg) Hashtbl.t;
   mutable events : event list; (* newest first *)
   mutable depth : int;
+  (* Innermost-first stack of the names of the currently open spans on
+     this domain.  Single-writer like the rest of the buffer; the
+     sampling profiler reads its own domain's head from the SIGALRM
+     handler, which runs on the same domain it interrupted, so no other
+     domain ever observes a torn update. *)
+  mutable stack : string list;
 }
 
 (* Every buffer ever created, so [snapshot]/[trace_events] can merge
@@ -213,12 +219,20 @@ let buf_key =
           aggs = Hashtbl.create 16;
           events = [];
           depth = 0;
+          stack = [];
         }
       in
       locked (fun () -> all_bufs := b :: !all_bufs);
       b)
 
 let no_attrs () = []
+
+(* Optional callback fired once per closed span (after aggregation):
+   [Gcstats] hangs its rate-limited quick_stat sampler here so GC
+   telemetry tracks span boundaries without [Obs] depending on it.  The
+   hook must not open spans of its own. *)
+let span_exit_hook : (unit -> unit) option Atomic.t = Atomic.make None
+let set_span_exit_hook h = Atomic.set span_exit_hook h
 
 let record_span b name t0 dur attrs =
   (match Hashtbl.find_opt b.aggs name with
@@ -242,7 +256,8 @@ let record_span b name t0 dur attrs =
         }
         :: b.events
     else ignore (Atomic.fetch_and_add events_dropped 1)
-  end
+  end;
+  match Atomic.get span_exit_hook with None -> () | Some hook -> hook ()
 
 let with_span ?(attrs = no_attrs) name f =
   if not (Atomic.get enabled_flag) then f ()
@@ -250,20 +265,32 @@ let with_span ?(attrs = no_attrs) name f =
     let b = Domain.DLS.get buf_key in
     let t0 = now_us () in
     b.depth <- b.depth + 1;
+    b.stack <- name :: b.stack;
+    let finish () =
+      b.depth <- b.depth - 1;
+      (match b.stack with _ :: tl -> b.stack <- tl | [] -> ());
+      record_span b name t0 (now_us () - t0) attrs
+    in
     match f () with
     | v ->
-        b.depth <- b.depth - 1;
-        record_span b name t0 (now_us () - t0) attrs;
+        finish ();
         v
     | exception e ->
-        b.depth <- b.depth - 1;
-        record_span b name t0 (now_us () - t0) attrs;
+        finish ();
         raise e
   end
 
 let span_depth () =
   if not (Atomic.get enabled_flag) then 0
   else (Domain.DLS.get buf_key).depth
+
+(* Deliberately not gated on [enabled]: the stack is empty when
+   recording is off, and the profiler's signal handler must be able to
+   read it without a flag race.  The DLS access may initialize this
+   domain's buffer (which takes the registry mutex), so the profiler
+   touches it once from [start] — plain code, not the handler. *)
+let current_span () =
+  match (Domain.DLS.get buf_key).stack with [] -> None | s :: _ -> Some s
 
 let trace_events () =
   let evs =
@@ -426,3 +453,43 @@ let reset () =
         !all_bufs);
   Atomic.set event_count 0;
   Atomic.set events_dropped 0
+
+(* -- fatal-signal flush ------------------------------------------------------ *)
+
+(* Telemetry writers (the --stats table, trace JSON, OpenMetrics file,
+   collapsed profile) normally run from [at_exit], which a SIGINT or
+   SIGTERM kill never reaches — losing the whole artifact exactly when
+   it is most wanted.  Writers registered here additionally run from a
+   handler that flushes everything and then re-raises the signal with
+   default disposition, so the process still dies by that signal (its
+   wait status is preserved) but the artifacts survive. *)
+
+(* lint: domain-safe appends go through [locked] (registry_mutex);
+   the signal handler runs on the main domain after argv handling *)
+let flushers : (unit -> unit) list ref = ref []
+
+(* lint: domain-safe set once, under [locked], on first registration *)
+let flush_signals_installed = ref false
+
+let run_flushers () =
+  List.iter
+    (fun f ->
+      (* lint: exn-ok one failing writer must not block the remaining
+         flushers or the re-raise that kills the process *)
+      try f () with _ -> ())
+    (List.rev !flushers)
+
+let flush_and_reraise signum =
+  run_flushers ();
+  Sys.set_signal signum Sys.Signal_default;
+  Unix.kill (Unix.getpid ()) signum
+
+let register_flusher f =
+  locked (fun () ->
+      flushers := f :: !flushers;
+      if not !flush_signals_installed then begin
+        flush_signals_installed := true;
+        List.iter
+          (fun s -> Sys.set_signal s (Sys.Signal_handle flush_and_reraise))
+          [ Sys.sigint; Sys.sigterm ]
+      end)

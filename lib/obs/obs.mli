@@ -90,6 +90,18 @@ val with_span :
 val span_depth : unit -> int
 (** Current nesting depth of spans on this domain (0 when disabled). *)
 
+val current_span : unit -> string option
+(** Name of the innermost span currently open on this domain, if any.
+    The sampling profiler ({!Profile}) reads this from its SIGALRM
+    handler to attribute samples to spans, so it is not gated: with
+    recording off the stack is simply empty. *)
+
+val set_span_exit_hook : (unit -> unit) option -> unit
+(** Install (or clear) a callback fired once per recorded span exit,
+    after aggregation.  {!Gcstats} uses it to sample GC statistics at
+    span boundaries.  The hook runs on the recording domain and must
+    not open spans of its own. *)
+
 (** {1 Trace events} *)
 
 type event = {
@@ -147,3 +159,17 @@ val diff : snapshot -> snapshot -> snapshot
 val reset : unit -> unit
 (** Zero every counter and histogram, clear every span buffer and all
     trace events.  Call at quiescence. *)
+
+(** {1 Fatal-signal flush} *)
+
+val register_flusher : (unit -> unit) -> unit
+(** Register a telemetry writer to also run on SIGINT/SIGTERM.  The
+    first registration installs handlers that run every flusher (in
+    registration order, failures skipped) and then re-raise the signal
+    with default disposition, so a killed process still dies by that
+    signal but its trace/metrics/profile artifacts survive.  Writers
+    normally also run from [at_exit]; the two paths never both run. *)
+
+val run_flushers : unit -> unit
+(** Run every registered flusher now (the signal path, callable
+    directly for tests). *)

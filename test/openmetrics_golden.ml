@@ -1,0 +1,44 @@
+(* Prints the OpenMetrics rendering of a fixed snapshot to stdout; the
+   dune rule byte-diffs it against openmetrics.expected, so any change
+   to the exposition format (names, le labels, ordering, terminator)
+   must update the golden file consciously.  The snapshot exercises
+   name sanitization (dots and a dash), an empty histogram, a populated
+   one with boundary buckets, and a span summary. *)
+
+let () =
+  print_string
+    (Revkb_obs.Export.openmetrics
+       {
+         Revkb_obs.Obs.counters =
+           [ ("bdd.cache.hits", 42); ("sat.restarts-fast", 0) ];
+         hists =
+           [
+             ( "dist.min",
+               {
+                 Revkb_obs.Obs.count = 3;
+                 sum = 1027;
+                 min_v = 1;
+                 max_v = 1024;
+                 buckets = [ (0, 1); (2, 1); (1024, 1) ];
+               } );
+             ( "pool.idle",
+               {
+                 Revkb_obs.Obs.count = 0;
+                 sum = 0;
+                 min_v = max_int;
+                 max_v = min_int;
+                 buckets = [];
+               } );
+           ];
+         spans =
+           [
+             ( "sem.query",
+               {
+                 Revkb_obs.Obs.s_count = 4;
+                 s_total_us = 1_500_000;
+                 s_min_us = 100_000;
+                 s_max_us = 800_000;
+                 s_by_domain = [ (0, 1_500_000) ];
+               } );
+           ];
+       })

@@ -1,0 +1,61 @@
+(* Fatal-signal telemetry flush, end to end: spawn
+   [revkb trace -o T --metrics-out M repl] (repl blocks on stdin held
+   open by a pipe), SIGTERM it mid-read, and assert that
+
+   - the child died by SIGTERM (the flush handlers re-raise, so the
+     exit status still reports the signal), and
+   - both the Chrome trace and the OpenMetrics artifact were written
+     complete (valid JSON array brackets; "# EOF" terminator) by the
+     signal-path flushers, which [at_exit] never got to run.
+
+   Usage: signal_kill.exe PATH-TO-REVKB *)
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("signal_kill: " ^ s);
+      exit 1)
+    fmt
+
+let read_all path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let () =
+  if Array.length Sys.argv < 2 then fail "usage: signal_kill.exe REVKB";
+  let revkb = Sys.argv.(1) in
+  let trace = Filename.temp_file "revkb_sigkill_trace" ".json" in
+  let metrics = Filename.temp_file "revkb_sigkill_metrics" ".om" in
+  let stdin_r, stdin_w = Unix.pipe () in
+  let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process revkb
+      [| revkb; "trace"; "-o"; trace; "--metrics-out"; metrics; "repl" |]
+      stdin_r null null
+  in
+  Unix.close stdin_r;
+  Unix.close null;
+  (* Give the child time to finish startup and block in read_line; the
+     write end of the pipe stays open so EOF never arrives. *)
+  Unix.sleepf 1.0;
+  Unix.kill pid Sys.sigterm;
+  let _, status = Unix.waitpid [] pid in
+  Unix.close stdin_w;
+  (match status with
+  | Unix.WSIGNALED s when s = Sys.sigterm -> ()
+  | Unix.WSIGNALED s -> fail "child died by signal %d, not SIGTERM" s
+  | Unix.WEXITED c -> fail "child exited %d instead of dying by SIGTERM" c
+  | Unix.WSTOPPED _ -> fail "child stopped");
+  let t = String.trim (read_all trace) in
+  if not (String.length t >= 2 && t.[0] = '[' && t.[String.length t - 1] = ']')
+  then fail "trace %s is not a complete JSON array: %S" trace t;
+  let m = read_all metrics in
+  let eof = "# EOF\n" in
+  let n = String.length m and e = String.length eof in
+  if n < e || String.sub m (n - e) e <> eof then
+    fail "metrics %s does not end with %S" metrics eof;
+  Sys.remove trace;
+  Sys.remove metrics;
+  print_endline "signal_kill: SIGTERM flush left complete trace and metrics"

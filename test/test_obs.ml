@@ -6,6 +6,9 @@
 
 module Obs = Revkb_obs.Obs
 module Export = Revkb_obs.Export
+module Profile = Revkb_obs.Profile
+module Gcstats = Revkb_obs.Gcstats
+module History = Revkb_obs.History
 module Pool = Revkb_parallel.Pool
 
 let check_bool = Helpers.check_bool
@@ -284,6 +287,277 @@ let test_json_primitives () =
   check_bool "+inf rejected" true (rejects Float.infinity);
   check_bool "-inf rejected" true (rejects Float.neg_infinity)
 
+let test_openmetrics_golden () =
+  check_str "openmetrics golden"
+    ("# TYPE revkb_sem_ladder_probes counter\n\
+      revkb_sem_ladder_probes_total 7\n\
+      # TYPE revkb_t_alpha counter\n\
+      revkb_t_alpha_total 3\n\
+      # TYPE revkb_t_beta counter\n\
+      revkb_t_beta_total 0\n\
+      # TYPE revkb_t_h histogram\n\
+      revkb_t_h_bucket{le=\"7\"} 1\n\
+      revkb_t_h_bucket{le=\"2047\"} 2\n\
+      revkb_t_h_bucket{le=\"+Inf\"} 2\n\
+      revkb_t_h_sum 1030\n\
+      revkb_t_h_count 2\n\
+      # TYPE revkb_t_s_seconds summary\n\
+      revkb_t_s_seconds_count 2\n\
+      revkb_t_s_seconds_sum 0.003\n\
+      # EOF\n")
+    (Export.openmetrics golden_snapshot)
+
+(* Bucket boundaries through a real registry histogram: 1 lands in
+   bucket 0 (le="1"), 2 in [2,4) (le="3"), 1024 in [1024,2048)
+   (le="2047") — the le labels are the inclusive upper bounds of the
+   power-of-two buckets, and the cumulative counts must sum. *)
+let test_openmetrics_bucket_boundaries () =
+  with_flags ~enabled:true ~tracing:false (fun () ->
+      let h = Obs.hist "t.om.edges" in
+      List.iter (Obs.observe h) [ 1; 2; 1024 ];
+      let d = List.assoc "t.om.edges" (Obs.snapshot ()).Obs.hists in
+      let out =
+        Export.openmetrics { Obs.counters = []; hists = [ ("t.om.edges", d) ]; spans = [] }
+      in
+      let has = Helpers.contains_substring out in
+      check_bool "le=1 cumulative 1" true (has "revkb_t_om_edges_bucket{le=\"1\"} 1\n");
+      check_bool "le=3 cumulative 2" true (has "revkb_t_om_edges_bucket{le=\"3\"} 2\n");
+      check_bool "le=2047 cumulative 3" true
+        (has "revkb_t_om_edges_bucket{le=\"2047\"} 3\n");
+      check_bool "+Inf equals count" true (has "revkb_t_om_edges_bucket{le=\"+Inf\"} 3\n"))
+
+let test_openmetrics_empty_hist () =
+  let empty =
+    { Obs.count = 0; sum = 0; min_v = max_int; max_v = min_int; buckets = [] }
+  in
+  check_str "empty histogram still well-formed"
+    ("# TYPE revkb_t_empty histogram\n\
+      revkb_t_empty_bucket{le=\"+Inf\"} 0\n\
+      revkb_t_empty_sum 0\n\
+      revkb_t_empty_count 0\n\
+      # EOF\n")
+    (Export.openmetrics
+       { Obs.counters = []; hists = [ ("t.empty", empty) ]; spans = [] })
+
+let test_metric_float () =
+  check_str "finite" "1.5" (Export.metric_float 1.5);
+  let rejects v =
+    match Export.metric_float v with
+    | exception Invalid_argument msg ->
+        Helpers.contains_substring msg "non-finite"
+    | _ -> false
+  in
+  check_bool "nan rejected" true (rejects Float.nan);
+  check_bool "+inf rejected" true (rejects Float.infinity);
+  check_bool "-inf rejected" true (rejects Float.neg_infinity)
+
+(* -- profiler ------------------------------------------------------------- *)
+
+let test_current_span () =
+  with_flags ~enabled:true ~tracing:false (fun () ->
+      check_bool "none outside spans" true (Obs.current_span () = None);
+      Obs.with_span "t.cur.outer" (fun () ->
+          Obs.with_span "t.cur.inner" (fun () ->
+              check_bool "innermost wins" true
+                (Obs.current_span () = Some "t.cur.inner"));
+          check_bool "inner popped" true
+            (Obs.current_span () = Some "t.cur.outer"));
+      check_bool "unwound" true (Obs.current_span () = None))
+
+let test_profile_guards () =
+  (match Profile.start ~hz:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "hz=0 accepted");
+  (match Profile.start ~hz:1001 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "hz=1001 accepted")
+
+let test_profile_samples_and_span () =
+  with_flags ~enabled:true ~tracing:false (fun () ->
+      Profile.start ~hz:500 ();
+      Fun.protect ~finally:Profile.stop (fun () ->
+          (match Profile.folded () with
+          | exception Invalid_argument _ -> ()
+          | _ -> Alcotest.fail "folded while running should raise");
+          (match Profile.start () with
+          | exception Invalid_argument _ -> ()
+          | _ -> Alcotest.fail "double start should raise");
+          (* Spin real OCaml work (allocation = safepoints) until the
+             timer has delivered a few samples; bounded so a loaded CI
+             machine fails loudly instead of hanging. *)
+          let deadline = Unix.gettimeofday () +. 10.0 in
+          Obs.with_span "t.profspan" (fun () ->
+              while
+                Profile.sample_count () < 3
+                && Unix.gettimeofday () < deadline
+              do
+                ignore (Sys.opaque_identity (List.init 256 (fun i -> i * i)))
+              done));
+      Profile.stop () (* idempotent *);
+      check_bool "samples captured" true (Profile.sample_count () > 0);
+      let stacks = Profile.folded () in
+      check_bool "folded non-empty" true (stacks <> []);
+      check_bool "counts positive" true
+        (List.for_all (fun (_, c) -> c > 0) stacks);
+      check_bool "samples attributed to the open span" true
+        (List.exists
+           (fun (s, _) -> Helpers.contains_substring s "[span] t.profspan")
+           stacks);
+      check_bool "dropped is non-negative" true (Profile.dropped () >= 0))
+
+(* -- gcstats -------------------------------------------------------------- *)
+
+let test_gcstats_sample () =
+  with_flags ~enabled:true ~tracing:false (fun () ->
+      Gcstats.sample ();
+      let alloc0 = Obs.value (Obs.counter "gc.allocated_words") in
+      let heap0 =
+        (List.assoc "gc.heap_words" (Obs.snapshot ()).Obs.hists).Obs.count
+      in
+      ignore (Sys.opaque_identity (Array.init 100_000 string_of_int));
+      Gcstats.sample ();
+      check_bool "allocated_words grew" true
+        (Obs.value (Obs.counter "gc.allocated_words") > alloc0);
+      check_bool "heap_words observed" true
+        ((List.assoc "gc.heap_words" (Obs.snapshot ()).Obs.hists).Obs.count
+        > heap0))
+
+let test_gcstats_span_hook () =
+  with_flags ~enabled:true ~tracing:false (fun () ->
+      Gcstats.enable ();
+      Fun.protect ~finally:Gcstats.disable (fun () ->
+          let heap0 =
+            (List.assoc "gc.heap_words" (Obs.snapshot ()).Obs.hists).Obs.count
+          in
+          (* Outlast the tick rate limit (default 10ms), then exit a
+             span: the boundary hook must take exactly one sample. *)
+          Unix.sleepf 0.05;
+          Obs.with_span "t.gctick" (fun () -> ());
+          check_bool "span exit sampled" true
+            ((List.assoc "gc.heap_words" (Obs.snapshot ()).Obs.hists).Obs.count
+            > heap0)))
+
+let test_alloc_budget () =
+  Gcstats.set_assert_budgets false;
+  let v0 = Gcstats.violations () in
+  check_int "value passes through" 17
+    (Gcstats.with_alloc_budget ~site:"t.ok" ~budget_bytes:1_000_000 (fun () ->
+         17));
+  check_int "within budget: no violation" v0 (Gcstats.violations ());
+  ignore
+    (Gcstats.with_alloc_budget ~site:"t.over" ~budget_bytes:0 (fun () ->
+         Sys.opaque_identity (Array.make 4096 0.)));
+  check_bool "overrun counted" true (Gcstats.violations () > v0);
+  (match
+     Gcstats.with_alloc_budget ~site:"t.exn" ~budget_bytes:0 (fun () ->
+         failwith "budget boom")
+   with
+  | exception Failure msg -> check_str "exception passes through" "budget boom" msg
+  | _ -> Alcotest.fail "exception swallowed");
+  Gcstats.set_assert_budgets true;
+  check_bool "assert flag readable" true (Gcstats.assert_budgets ());
+  Fun.protect
+    ~finally:(fun () -> Gcstats.set_assert_budgets false)
+    (fun () ->
+      match
+        Gcstats.with_alloc_budget ~site:"t.raise" ~budget_bytes:0 (fun () ->
+            Sys.opaque_identity (Array.make 4096 0.))
+      with
+      | exception Gcstats.Budget_exceeded { site; budget_bytes; allocated_bytes }
+        ->
+          check_str "site" "t.raise" site;
+          check_int "budget" 0 budget_bytes;
+          check_bool "allocated positive" true (allocated_bytes > 0)
+      | _ -> Alcotest.fail "budget overrun did not raise under assert mode")
+
+(* -- flushers ------------------------------------------------------------- *)
+
+let test_flushers () =
+  let hits = ref 0 in
+  Obs.register_flusher (fun () -> failwith "skipped, not fatal");
+  Obs.register_flusher (fun () -> incr hits);
+  Obs.run_flushers ();
+  check_int "later flusher runs despite earlier failure" 1 !hits;
+  Obs.run_flushers ();
+  check_int "flushers re-run on demand" 2 !hits
+
+(* -- history -------------------------------------------------------------- *)
+
+let test_history_stats () =
+  check_bool "median odd" true (History.median [ 3.; 1.; 2. ] = 2.);
+  check_bool "median even" true (History.median [ 4.; 1.; 2.; 3. ] = 2.5);
+  check_bool "mad" true (History.mad [ 1.; 1.; 2.; 2. ] = 0.5);
+  check_bool "9% growth ok" false
+    (History.wall_regressed ~baseline:100. ~current:109.);
+  check_bool "11% growth regressed" true
+    (History.wall_regressed ~baseline:100. ~current:111.)
+
+let test_history_judge () =
+  let history = [ 100.; 101.; 99.; 100.5 ] in
+  (match History.judge ~history ~current:200. with
+  | History.Regressed { v_median; _ } ->
+      check_bool "2x slowdown flagged, median kept" true (v_median = 100.25)
+  | _ -> Alcotest.fail "2x slowdown not flagged");
+  (match History.judge ~history ~current:100.2 with
+  | History.Accepted _ -> ()
+  | _ -> Alcotest.fail "unchanged row not accepted");
+  (* >3 MAD but <10%: near-zero-MAD keys must not trip on tiny
+     absolute growth. *)
+  (match History.judge ~history ~current:103. with
+  | History.Accepted _ -> ()
+  | _ -> Alcotest.fail "sub-10% growth flagged");
+  (* >10% but within 3 MAD: noisy keys must not trip either. *)
+  (match History.judge ~history:[ 100.; 150.; 50.; 120.; 80. ] ~current:115. with
+  | History.Accepted _ -> ()
+  | _ -> Alcotest.fail "noise-level growth flagged");
+  match History.judge ~history:[ 100. ] ~current:500. with
+  | History.Insufficient 1 -> ()
+  | _ -> Alcotest.fail "short history must yield Insufficient"
+
+let test_history_roundtrip_and_check () =
+  let row bench wall =
+    {
+      History.r_bench = bench;
+      r_n = 10;
+      r_jobs = 1;
+      r_wall_ms = wall;
+      r_ts = 12.25;
+    }
+  in
+  check_str "ndjson line golden"
+    "{\"bench\": \"t.key\", \"n\": 10, \"jobs\": 1, \"wall_ms\": 100.5, \
+     \"ts\": 12.250}"
+    (History.line_of_row (row "t.key" 100.5));
+  let path = Filename.temp_file "revkb_history" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      History.append path
+        (List.map (row "t.slow") [ 100.; 101.; 99. ]
+        @ List.map (row "t.stable") [ 50.; 51.; 49. ]
+        @ [ row "t.short" 10. ]);
+      (* A corrupted line costs one row, not the file. *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "{\"bench\": \"t.slow\", truncated garbage\n";
+      close_out oc;
+      History.append path [ row "t.slow" 250.; row "t.stable" 50.5 ];
+      let rows, skipped = History.load path in
+      check_int "malformed line skipped" 1 skipped;
+      check_int "rows loaded" 9 (List.length rows);
+      let reports = History.check rows in
+      let find b =
+        List.find (fun (p : History.report) -> p.History.p_bench = b) reports
+      in
+      (match (find "t.slow").History.p_verdict with
+      | History.Regressed _ -> ()
+      | _ -> Alcotest.fail "2.5x slowdown not flagged by check");
+      (match (find "t.stable").History.p_verdict with
+      | History.Accepted _ -> ()
+      | _ -> Alcotest.fail "stable key not accepted by check");
+      match (find "t.short").History.p_verdict with
+      | History.Insufficient 0 -> ()
+      | _ -> Alcotest.fail "single-run key must be Insufficient")
+
 (* -- disabled-path cost --------------------------------------------------- *)
 
 (* With recording off, the gated instruments must be a flag read: no
@@ -346,6 +620,40 @@ let () =
           Alcotest.test_case "json lines" `Quick test_export_json_lines;
           Alcotest.test_case "chrome trace" `Quick test_export_chrome_trace;
           Alcotest.test_case "json primitives" `Quick test_json_primitives;
+        ] );
+      ( "openmetrics",
+        [
+          Alcotest.test_case "golden snapshot" `Quick test_openmetrics_golden;
+          Alcotest.test_case "bucket boundaries" `Quick
+            test_openmetrics_bucket_boundaries;
+          Alcotest.test_case "empty histogram" `Quick
+            test_openmetrics_empty_hist;
+          Alcotest.test_case "metric_float rejects non-finite" `Quick
+            test_metric_float;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "current_span" `Quick test_current_span;
+          Alcotest.test_case "start guards" `Quick test_profile_guards;
+          Alcotest.test_case "samples and span attribution" `Quick
+            test_profile_samples_and_span;
+        ] );
+      ( "gcstats",
+        [
+          Alcotest.test_case "sample deltas" `Quick test_gcstats_sample;
+          Alcotest.test_case "span-boundary tick" `Quick
+            test_gcstats_span_hook;
+          Alcotest.test_case "alloc budgets" `Quick test_alloc_budget;
+        ] );
+      ( "flushers",
+        [ Alcotest.test_case "run and skip failures" `Quick test_flushers ] );
+      ( "history",
+        [
+          Alcotest.test_case "median/mad/wall_regressed" `Quick
+            test_history_stats;
+          Alcotest.test_case "judge verdicts" `Quick test_history_judge;
+          Alcotest.test_case "roundtrip and check" `Quick
+            test_history_roundtrip_and_check;
         ] );
       ( "overhead",
         [
