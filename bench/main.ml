@@ -5,7 +5,7 @@
      dune exec bench/main.exe -- SECTION…  # run selected sections
 
    Sections: examples figure1 explosion table1 table2 size_audit postulates
-   compilation timing parallel incremental boundary history
+   compilation timing parallel incremental boundary serve history
 
    Observability: REVKB_PROFILE=FILE samples the whole run into
    collapsed stacks; REVKB_METRICS_OUT=FILE writes an OpenMetrics
@@ -27,6 +27,7 @@ let sections =
     ("parallel", Parallel_bench.run);
     ("incremental", Incremental.run);
     ("boundary", Boundary.run);
+    ("serve", Serve.run);
     ("history", History.run);
   ]
 

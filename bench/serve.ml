@@ -1,0 +1,317 @@
+(* The serving tier, measured end to end through [Server.handle_line]:
+   JSON parse -> dispatch -> revision cache or batched check -> render.
+
+   Two hard gates (exit 1 on regression):
+
+   1. A warm cache hit must answer a [revise] request at least 10x
+      faster than a cold one — a tight (capacity-1) server alternating
+      two P's recomputes the compact representation every time, while a
+      roomy server answers the same alternation from the LRU.
+   2. At jobs=4, one [batch] request carrying N [check] members over a
+      shared (KB, operator, P) must beat N one-at-a-time [check]
+      requests — the group runs one [Check.model_check_batch] with the
+      k_{T,P} / session setup hoisted out of the per-candidate loop.
+
+   Before any timing is reported, answers are asserted bit-identical
+   three ways: cached vs recomputed, jobs=1 vs jobs=4, and batch vs
+   individual.  Results land in BENCH_serve.json (override via
+   REVKB_BENCH_SERVE_JSON) and the wall-time rows go to the
+   BENCH_history.jsonl observatory. *)
+
+module Server = Revkb_serve.Server
+module Json = Revkb_serve.Json
+module Pool = Revkb_parallel.Pool
+
+let reps = 3
+
+let best_of f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let elapsed = (Unix.gettimeofday () -. t0) *. 1000. in
+    if elapsed < !best then best := elapsed;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+(* -- workload --------------------------------------------------------------
+
+   26 letters, one clause per letter, every clause carrying a positive
+   literal so the theory is satisfiable (all-true) by construction and
+   [revise] never rejects it. *)
+
+let nletters = 26
+
+let letter i = Printf.sprintf "v%d" (i + 1)
+
+let theory_str =
+  String.concat "; "
+    (List.init nletters (fun i ->
+         Printf.sprintf "%s | ~%s | %s" (letter i)
+           (letter ((i * 7) + 3 mod nletters))
+           (letter ((i * 11) + 5 mod nletters))))
+
+let p_str i = Printf.sprintf "~%s & ~%s" (letter i) (letter (i + 1))
+
+let fresh_server ?cache_cap () =
+  let srv = Server.create ?cache_cap () in
+  let r =
+    Server.handle_line srv
+      (Json.render
+         (Json.Obj
+            [
+              ("verb", Json.Str "load");
+              ("kb", Json.Str "bench");
+              ("theory", Json.Str theory_str);
+            ]))
+  in
+  (match Json.bool_member "ok" (Json.parse r) with
+  | Some true -> ()
+  | _ -> failwith ("serve bench: load failed: " ^ r));
+  srv
+
+let revise_line p =
+  Json.render
+    (Json.Obj
+       [
+         ("verb", Json.Str "revise");
+         ("kb", Json.Str "bench");
+         ("op", Json.Str "dalal");
+         ("p", Json.Str p);
+       ])
+
+let query_line p q =
+  Json.render
+    (Json.Obj
+       [
+         ("verb", Json.Str "query");
+         ("kb", Json.Str "bench");
+         ("op", Json.Str "dalal");
+         ("p", Json.Str p);
+         ("q", Json.Str q);
+       ])
+
+let check_member model =
+  Json.Obj
+    [
+      ("verb", Json.Str "check");
+      ("kb", Json.Str "bench");
+      ("op", Json.Str "dalal");
+      ("p", Json.Str (p_str 0));
+      ("models", Json.List [ Json.Str model ]);
+    ]
+
+let expect_ok line resp =
+  let v = Json.parse resp in
+  if Json.bool_member "ok" v <> Some true then
+    failwith
+      (Printf.sprintf "serve bench: request %s failed: %s" line resp);
+  v
+
+let send srv line = expect_ok line (Server.handle_line srv line)
+
+(* -- gate 1: warm cache hit vs cold recompute ------------------------------ *)
+
+let revise_requests = 40
+
+let revise_sequence srv =
+  for i = 1 to revise_requests do
+    ignore (send srv (revise_line (p_str (i mod 2))))
+  done
+
+let revise_rows () =
+  (* Capacity 1 + alternating P's: every request evicts the other key,
+     so all [revise_requests] recompute. *)
+  let tight = fresh_server ~cache_cap:1 () in
+  let (), cold_ms = best_of (fun () -> revise_sequence tight) in
+  (* Roomy cache, primed: the same alternation is all hits. *)
+  let roomy = fresh_server () in
+  ignore (send roomy (revise_line (p_str 0)));
+  ignore (send roomy (revise_line (p_str 1)));
+  let (), warm_ms = best_of (fun () -> revise_sequence roomy) in
+  (* Cached vs recomputed must agree on every entailment. *)
+  let qs = [ letter 2; "~" ^ letter 0; letter 0 ^ " | " ^ letter 4 ] in
+  let answers srv =
+    List.map
+      (fun q ->
+        Option.get (Json.bool_member "entails" (send srv (query_line (p_str 0) q))))
+      qs
+  in
+  let identical = answers tight = answers roomy in
+  (cold_ms, warm_ms, identical)
+
+(* -- gate 2: one batch vs one-at-a-time checks ----------------------------- *)
+
+let ncandidates = 24
+
+(* Deterministic candidate models: varied subsets of the alphabet,
+   rendered as space-separated true letters. *)
+let candidates =
+  List.init ncandidates (fun i ->
+      String.concat " "
+        (List.filteri (fun j _ -> (j * (i + 3)) mod 5 < 2)
+           (List.init nletters letter)))
+
+let individual_lines =
+  List.map (fun m -> Json.render (check_member m)) candidates
+
+let batch_line =
+  Json.render
+    (Json.Obj
+       [
+         ("verb", Json.Str "batch");
+         ("requests", Json.List (List.map check_member candidates));
+       ])
+
+let one_result line v =
+  match Json.list_member "results" v with
+  | Some [ Json.Bool b ] -> b
+  | _ -> failwith ("serve bench: expected a 1-result check reply to " ^ line)
+
+let run_individual srv =
+  List.map (fun line -> one_result line (send srv line)) individual_lines
+
+let run_batch srv =
+  let v = send srv batch_line in
+  match Json.list_member "responses" v with
+  | Some rs ->
+      List.map
+        (fun r ->
+          match Json.list_member "results" r with
+          | Some [ Json.Bool b ] -> b
+          | _ -> failwith "serve bench: malformed batch member reply")
+        rs
+  | None -> failwith "serve bench: batch reply has no responses"
+
+let batch_rows () =
+  let srv = fresh_server () in
+  let seq_answers, individual_ms =
+    Pool.with_jobs 4 (fun () -> best_of (fun () -> run_individual srv))
+  in
+  let batch_answers, batch_ms =
+    Pool.with_jobs 4 (fun () -> best_of (fun () -> run_batch srv))
+  in
+  let j1 =
+    Pool.with_jobs 1 (fun () -> (run_individual srv, run_batch srv))
+  in
+  let jobs_identical = j1 = (seq_answers, batch_answers) in
+  (individual_ms, batch_ms, batch_answers = seq_answers, jobs_identical)
+
+(* -- artifact + history + gate --------------------------------------------- *)
+
+let serve_json_path () =
+  Option.value
+    (Sys.getenv_opt "REVKB_BENCH_SERVE_JSON")
+    ~default:"BENCH_serve.json"
+
+let write_serve_json ~cold_ms ~warm_ms ~individual_ms ~batch_ms
+    ~cached_identical ~batch_identical ~jobs_identical =
+  let jf = Revkb_obs.Export.json_float in
+  let jb b = if b then "true" else "false" in
+  let file = serve_json_path () in
+  let oc = open_out file in
+  Printf.fprintf oc
+    "{\n\
+    \  \"revise_cache\": {\"requests\": %d, \"cold_wall_ms\": %s, \
+     \"warm_wall_ms\": %s, \"speedup\": %s},\n\
+    \  \"batch_check\": {\"checks\": %d, \"jobs\": 4, \
+     \"individual_wall_ms\": %s, \"batch_wall_ms\": %s, \"speedup\": %s},\n\
+    \  \"identical\": {\"cached_vs_recomputed\": %s, \
+     \"batch_vs_individual\": %s, \"jobs1_vs_jobs4\": %s}\n\
+     }\n"
+    revise_requests (jf cold_ms) (jf warm_ms)
+    (jf (cold_ms /. Float.max warm_ms 1e-6))
+    ncandidates (jf individual_ms) (jf batch_ms)
+    (jf (individual_ms /. Float.max batch_ms 1e-6))
+    (jb cached_identical) (jb batch_identical) (jb jobs_identical);
+  close_out oc;
+  Printf.printf "  [revise + batch rows -> %s]\n" file
+
+let append_history ~cold_ms ~warm_ms ~batch_ms =
+  Revkb_obs.History.append
+    (Revkb_obs.History.default_path ())
+    [
+      {
+        Revkb_obs.History.r_bench = "serve/cold-revise";
+        r_n = nletters;
+        r_jobs = 1;
+        r_wall_ms = cold_ms;
+        r_ts = Unix.gettimeofday ();
+      };
+      {
+        Revkb_obs.History.r_bench = "serve/warm-revise";
+        r_n = nletters;
+        r_jobs = 1;
+        r_wall_ms = warm_ms;
+        r_ts = Unix.gettimeofday ();
+      };
+      {
+        Revkb_obs.History.r_bench = "serve/batch-check";
+        r_n = ncandidates;
+        r_jobs = 4;
+        r_wall_ms = batch_ms;
+        r_ts = Unix.gettimeofday ();
+      };
+    ]
+
+let gate ~cold_ms ~warm_ms ~individual_ms ~batch_ms ~cached_identical
+    ~batch_identical ~jobs_identical =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let cache_speedup = cold_ms /. Float.max warm_ms 1e-6 in
+  if cache_speedup < 10.0 then
+    fail "warm cache hit only %.1fx faster than cold revise (< 10x)"
+      cache_speedup;
+  if batch_ms >= individual_ms then
+    fail "batched checks (%.2f ms) did not beat one-at-a-time (%.2f ms) at jobs=4"
+      batch_ms individual_ms;
+  if not cached_identical then fail "cached and recomputed answers differ";
+  if not batch_identical then fail "batch and individual answers differ";
+  if not jobs_identical then fail "jobs=1 and jobs=4 answers differ";
+  match !failures with
+  | [] -> ()
+  | fs ->
+      List.iter (fun s -> Printf.eprintf "REGRESSION: %s\n" s) (List.rev fs);
+      exit 1
+
+let run () =
+  Report.section "Serving tier (revision cache, batched checks)";
+  Report.para
+    "  every number is measured through Server.handle_line — JSON parse,\n\
+    \  dispatch and render included.  Fails on a warm cache hit slower\n\
+    \  than 1/10th of a cold revise, or a batch that loses to\n\
+    \  one-at-a-time checks at jobs=4, or any answer divergence.";
+  let cold_ms, warm_ms, cached_identical = revise_rows () in
+  let individual_ms, batch_ms, batch_identical, jobs_identical =
+    batch_rows ()
+  in
+  Report.table
+    [ "workload"; "requests"; "cold/individual"; "warm/batch"; "speedup" ]
+    [
+      [
+        "revise (dalal, 26 letters)";
+        string_of_int revise_requests;
+        Printf.sprintf "%.2f ms" cold_ms;
+        Printf.sprintf "%.3f ms" warm_ms;
+        Printf.sprintf "%.0fx" (cold_ms /. Float.max warm_ms 1e-6);
+      ];
+      [
+        "check (jobs=4)";
+        string_of_int ncandidates;
+        Printf.sprintf "%.2f ms" individual_ms;
+        Printf.sprintf "%.3f ms" batch_ms;
+        Printf.sprintf "%.1fx" (individual_ms /. Float.max batch_ms 1e-6);
+      ];
+    ];
+  Report.para
+    (Printf.sprintf
+       "  answers bit-identical: cached=recomputed %b, batch=individual %b,\n\
+       \  jobs1=jobs4 %b"
+       cached_identical batch_identical jobs_identical);
+  write_serve_json ~cold_ms ~warm_ms ~individual_ms ~batch_ms
+    ~cached_identical ~batch_identical ~jobs_identical;
+  append_history ~cold_ms ~warm_ms ~batch_ms;
+  gate ~cold_ms ~warm_ms ~individual_ms ~batch_ms ~cached_identical
+    ~batch_identical ~jobs_identical

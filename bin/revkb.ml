@@ -788,6 +788,51 @@ let repl_cmd =
          "Interactive session: log revisions, incorporate on access           (Section 6.2 strategy).")
     Term.(const run $ op_default $ theory_opt)
 
+(* -- serve -------------------------------------------------------------------- *)
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Serve on a Unix domain socket bound at $(docv) (one client \
+             at a time); default is stdin/stdout.")
+  in
+  let cache_cap =
+    Arg.(
+      value & opt int 256
+      & info [ "cache-cap" ] ~docv:"N"
+          ~doc:
+            "Capacity of the epoch-keyed revision cache (LRU entries, \
+             default 256).")
+  in
+  let run () socket cache_cap =
+    if cache_cap < 1 then begin
+      Printf.eprintf "revkb serve: --cache-cap must be >= 1\n";
+      exit 2
+    end;
+    let server = Revkb_serve.Server.create ~cache_cap () in
+    (match socket with
+    | Some path -> Revkb_serve.Server.serve_socket server path
+    | None -> Revkb_serve.Server.serve_fd server Unix.stdin Unix.stdout);
+    0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-lived revision service: newline-delimited JSON requests \
+          (verbs $(b,load), $(b,update), $(b,revise), $(b,query), \
+          $(b,check), $(b,count), $(b,compile), $(b,stats), $(b,batch), \
+          $(b,shutdown)) against a named-KB registry with pooled \
+          incremental sessions, an optional compiled ROBDD route, an \
+          epoch-keyed LRU revision cache, and pool-fanned batch model \
+          checking.  One instrumentation snapshot is emitted per process \
+          at exit; SIGTERM drains the in-flight request before the \
+          telemetry writers run.")
+    Term.(const run $ jobs_term $ socket $ cache_cap)
+
 (* -- trace -------------------------------------------------------------------- *)
 
 (* [revkb trace [-o FILE] SUBCMD ARGS...] is handled by a pre-scan of
@@ -1010,6 +1055,7 @@ let () =
             check_cmd;
             analyze_cmd;
             repl_cmd;
+            serve_cmd;
             trace_cmd;
             profile_cmd;
           ]))

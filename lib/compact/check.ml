@@ -263,13 +263,99 @@ let model_check ?(cegar_cap = 50_000) op t p n =
     ~attrs:(fun () -> [ ("op", MB.name op) ])
     (fun () -> model_check_inner ~cegar_cap op t p n)
 
-(* Candidate models are independent Σ₂/Δ₂ probes — every probe builds
-   its own session (own solver), so fanning them across the pool
-   shares nothing but the immutable formulas, and the answers come back
-   slotted in candidate order regardless of job count. *)
-let model_check_batch ?cegar_cap op t p ns =
-  let pool = Revkb_parallel.Pool.global () in
-  Revkb_parallel.Pool.map_list pool (fun n -> model_check ?cegar_cap op t p n) ns
+(* Batched membership: the per-(T, P) setup that [model_check] redoes
+   for every candidate is hoisted out of the loop and shared.
+
+   - Dalal: k_{T,P} ([Hamming.min_distance_sat], a full threshold
+     sweep) is computed once for the whole batch, and each pool chunk
+     shares one [Dist] prober — T is Tseitin-encoded once per chunk
+     instead of once per candidate, so a warm probe is a handful of
+     assumption flips.
+   - Weber: Ω(T, P) is computed once; each chunk holds one session
+     with T asserted and pins the surviving letters per candidate.
+   - Satoh: Δ(T, P) is computed once; membership is then a pure
+     evaluation over the difference sets, no solver at all.
+   - Winslett / Forbus / Borgida: each chunk shares one CEGAR session,
+     so T's encoding and the solver's learned clauses carry across
+     candidates (witness blocking is scoped per candidate and cannot
+     leak between them).
+
+   Answers are slotted in candidate order and depend only on (op, T,
+   P, candidate) — never on chunk boundaries — so the result is
+   bit-identical to the one-at-a-time path at every job count. *)
+let model_check_batch ?(cegar_cap = 50_000) op t p ns =
+  match ns with
+  | [] -> []
+  | _ ->
+      Obs.with_span "check.batch"
+        ~attrs:(fun () ->
+          [ ("op", MB.name op); ("candidates", string_of_int (List.length ns)) ])
+        (fun () ->
+          if not (Semantics.is_sat t) then
+            invalid_arg "Compact.Check: T unsatisfiable";
+          if not (Semantics.is_sat p) then
+            invalid_arg "Compact.Check: P unsatisfiable";
+          let alphabet = joint t p in
+          let va = Var.set_of_list alphabet in
+          let arr = Array.of_list (List.map (Interp.restrict va) ns) in
+          let pool = Revkb_parallel.Pool.global () in
+          let answers =
+            match op with
+            | MB.Dalal ->
+                let k =
+                  match Hamming.min_distance_sat t p with
+                  | Some k -> k
+                  | None -> assert false (* T satisfiable *)
+                in
+                Revkb_parallel.Pool.map_array_with pool
+                  ~init:(fun () -> Dist.create t alphabet)
+                  (fun d n -> Interp.sat n p && Dist.to_interp d n = Some k)
+                  arr
+            | MB.Weber ->
+                let omega = Measure.omega t p in
+                let fixed =
+                  List.filter (fun x -> not (Var.Set.mem x omega)) alphabet
+                in
+                Revkb_parallel.Pool.map_array_with pool
+                  ~init:(fun () ->
+                    let s = Session.create ~vars:alphabet () in
+                    Session.assert_always s t;
+                    s)
+                  (fun s n ->
+                    Interp.sat n p
+                    && Session.solve s
+                         [
+                           Formula.and_
+                             (List.map
+                                (fun x -> Formula.lit (Var.Set.mem x n) x)
+                                fixed);
+                         ])
+                  arr
+            | MB.Satoh ->
+                let delta = Measure.delta t p in
+                Array.map
+                  (fun n ->
+                    Interp.sat n p
+                    && List.exists
+                         (fun s -> Interp.sat (Interp.sym_diff n s) t)
+                         delta)
+                  arr
+            | MB.Winslett | MB.Forbus | MB.Borgida ->
+                let ctx = ctx_for ~cap:cegar_cap op alphabet in
+                Revkb_parallel.Pool.map_array_with pool
+                  ~init:(fun () -> Session.create ~vars:alphabet ())
+                  (fun s n ->
+                    Interp.sat n p
+                    &&
+                    match op with
+                    | MB.Winslett -> winslett_in ctx s t p alphabet n
+                    | MB.Forbus -> forbus_in ctx s t p alphabet n
+                    | _ ->
+                        if Session.solve s [ t; p ] then Interp.sat n t
+                        else winslett_in ctx s t p alphabet n)
+                  arr
+          in
+          Array.to_list answers)
 
 let entails op t p q =
   if not (Semantics.is_sat t) then

@@ -51,10 +51,15 @@ val model_check_batch :
   Formula.t ->
   Interp.t list ->
   bool list
-(** {!model_check} over many candidate interpretations, fanned across
-    the {!Revkb_parallel.Pool.global} work pool (each probe owns its
-    solver).  Answers are returned in candidate order and are identical
-    at every job count. *)
+(** {!model_check} over many candidate interpretations, with the
+    per-(T, P) setup hoisted out of the loop: Dalal computes k_{T,P}
+    once and shares one {!Dist} prober per pool chunk, Weber computes
+    Ω(T, P) once and shares a session with [T] asserted, Satoh reduces
+    to a pure evaluation over a once-computed Δ(T, P), and the CEGAR
+    operators share one session per chunk.  Chunks are fanned across
+    the {!Revkb_parallel.Pool.global} work pool.  Answers are returned
+    in candidate order, agree with the one-at-a-time {!model_check},
+    and are identical at every job count. *)
 
 val dist_to : Formula.t -> Interp.t -> Var.t list -> int option
 (** [dist_to f n alphabet]: minimum Hamming distance over the alphabet

@@ -779,7 +779,7 @@ let check_r2 g file out =
 let obs_namespaces =
   [
     "sat"; "sem"; "pool"; "enum"; "dist"; "check"; "models"; "verify"; "bdd";
-    "gc"; "prof";
+    "gc"; "prof"; "serve";
   ]
 
 let valid_segment s =

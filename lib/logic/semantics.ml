@@ -336,6 +336,13 @@ module Session = struct
     let assumptions = List.concat_map (premise s) fs @ extra @ scopes in
     Obs.with_span "sem.query" (fun () -> solve ~assumptions s.env)
 
+  (* Entailment inside the session: premises /\ ~q unsatisfiable.  The
+     negated query is activated by assumption like everything else, so
+     repeated entailment checks against one KB reuse its encodings and
+     learned clauses — the serving tier's hot query path. *)
+  let entails ?(premises = []) s q =
+    not (solve s (premises @ [ Formula.not_ q ]))
+
   let model_on s alphabet = model_on s.env alphabet
   let mask_on s alpha = mask_on s.env alpha
   let new_scope s = fresh_lit s.env

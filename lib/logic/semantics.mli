@@ -144,6 +144,12 @@ module Session : sig
       (each activated via {!premise}), any [extra] assumption literals,
       and the clause groups of the activated [scopes]. *)
 
+  val entails : ?premises:Formula.t list -> t -> Formula.t -> bool
+  (** [entails s ~premises q]: do the permanent assertions plus
+      [premises] entail [q]?  One {!solve} on [premises @ [not q]], so
+      repeated entailment queries against one asserted KB hit the
+      Tseitin memo and the accumulated learned clauses. *)
+
   val model_on : t -> Var.t list -> Interp.t
   val mask_on : t -> Interp_packed.alphabet -> Interp_packed.t
   val mask_on_wide : t -> Interp_packed.alphabet -> Interp_wide.t

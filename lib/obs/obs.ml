@@ -484,12 +484,33 @@ let flush_and_reraise signum =
   Sys.set_signal signum Sys.Signal_default;
   Unix.kill (Unix.getpid ()) signum
 
+(* A long-lived server must not be cut down mid-request: the serving
+   loop registers a deferral predicate that, when it returns true, takes
+   over responsibility for draining and then calling [flush_and_reraise]
+   itself.  [None] (the default) keeps the original flush-and-die
+   behavior for every one-shot subcommand. *)
+(* lint: domain-safe set once by the serving loop before it starts
+   reading requests; read from the signal handler on the main domain *)
+let signal_deferral : (int -> bool) option ref = ref None
+
+let set_signal_deferral d = locked (fun () -> signal_deferral := d)
+
+let handle_fatal signum =
+  let deferred =
+    match !signal_deferral with
+    | None -> false
+    (* lint: exn-ok a raising deferral predicate must not leak out of
+       the signal handler; fall back to the immediate flush-and-die *)
+    | Some d -> ( try d signum with _ -> false)
+  in
+  if not deferred then flush_and_reraise signum
+
 let register_flusher f =
   locked (fun () ->
       flushers := f :: !flushers;
       if not !flush_signals_installed then begin
         flush_signals_installed := true;
         List.iter
-          (fun s -> Sys.set_signal s (Sys.Signal_handle flush_and_reraise))
+          (fun s -> Sys.set_signal s (Sys.Signal_handle handle_fatal))
           [ Sys.sigint; Sys.sigterm ]
       end)

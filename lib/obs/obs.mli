@@ -173,3 +173,18 @@ val register_flusher : (unit -> unit) -> unit
 val run_flushers : unit -> unit
 (** Run every registered flusher now (the signal path, callable
     directly for tests). *)
+
+val set_signal_deferral : (int -> bool) option -> unit
+(** Install (or clear) a predicate consulted by the fatal-signal
+    handler {e before} it flushes and re-raises.  Returning [true]
+    defers: the handler does nothing further, and the caller — a
+    serving loop that wants to drain in-flight requests first — must
+    eventually call {!flush_and_reraise} with the same signal itself.
+    Returning [false] (or raising) keeps the immediate
+    flush-and-die path. *)
+
+val flush_and_reraise : int -> unit
+(** Run every flusher, restore the signal's default disposition, and
+    re-raise it against the current process — the tail of the fatal
+    path, exposed so a deferring server can die by the original signal
+    once its drain completes. *)

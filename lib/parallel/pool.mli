@@ -61,6 +61,20 @@ val map_ranges : t -> ?chunks:int -> lo:int -> hi:int -> (int -> int -> 'a) -> '
     count for load balance), apply [f l h] to each, and return the
     per-chunk results in ascending range order. *)
 
+val map_array_with :
+  t ->
+  ?chunks:int ->
+  init:(unit -> 'c) ->
+  ('c -> 'a -> 'b) ->
+  'a array ->
+  'b array
+(** Chunked parallel map with a per-chunk context: {!map_ranges} where
+    each chunk first runs [init] once on its executing domain and then
+    maps its slice with the resulting context.  Amortizes expensive
+    shared setup (a SAT session, a distance prober) over the chunk.
+    Results are slotted by input index; [f]'s answers must not depend
+    on the context's history for the determinism contract to hold. *)
+
 val parallel_for_reduce :
   t ->
   ?chunks:int ->

@@ -1,0 +1,36 @@
+(** JSON values for the [revkb serve] protocol.
+
+    The wire format is newline-delimited JSON: one value per line, no
+    embedded newlines (the renderer never emits any).  Hand-rolled on
+    purpose — the protocol needs exactly this much JSON, and the
+    renderer must be deterministic (object members print in
+    construction order) so scripted sessions byte-diff cleanly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Malformed input.  Always carries an offset or token so the server
+    can echo a useful [detail] field; never escapes {!Server}. *)
+
+val parse : string -> t
+(** Parse one JSON value; the whole string must be consumed (modulo
+    whitespace).  Raises {!Parse_error}. *)
+
+val render : t -> string
+(** One line, no newline: members in construction order, strings
+    escaped per JSON, floats via the canonical trace encoding. *)
+
+val member : string -> t -> t option
+(** Object member by key ([None] on non-objects and absent keys). *)
+
+val str_member : string -> t -> string option
+val int_member : string -> t -> int option
+val bool_member : string -> t -> bool option
+val list_member : string -> t -> t list option

@@ -1,0 +1,180 @@
+(* Composed telemetry wrappers around the serve daemon, end to end.
+
+   The trace/profile/--metrics-out argv pre-scans each register their
+   exit writer once and strip themselves before cmdliner sees the
+   wrapped subcommand.  This test locks in the composition contract:
+
+   - [revkb trace profile serve], [revkb profile trace serve] and a
+     [--metrics-out] placed before the wrappers all resolve to the
+     same wrapped serve session;
+   - every artifact the order names is written complete (trace JSON
+     array containing serve.request spans; non-empty folded profile
+     or at least an existing file; OpenMetrics ending in "# EOF" and
+     carrying the serve counters);
+   - the stats snapshot runs exactly ONCE per process — one
+     "== counters ==" block on stderr regardless of how many wrappers
+     called [enable_stats].
+
+   Usage: compose_wrappers.exe PATH-TO-REVKB *)
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("compose_wrappers: " ^ s);
+      exit 1)
+    fmt
+
+let read_all path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let count_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let c = ref 0 in
+  for i = 0 to nh - nn do
+    if String.sub hay i nn = needle then incr c
+  done;
+  !c
+
+let contains hay needle = count_substring hay needle > 0
+
+let workload =
+  String.concat "\n"
+    [
+      {|{"id":1,"verb":"load","kb":"k","theory":"a; a -> b"}|};
+      {|{"id":2,"verb":"revise","kb":"k","op":"dalal","p":"~b"}|};
+      {|{"id":3,"verb":"revise","kb":"k","op":"dalal","p":"~b"}|};
+      {|{"id":4,"verb":"shutdown"}|};
+    ]
+  ^ "\n"
+
+(* Spawn [revkb argv.. ] with [workload] on stdin; return
+   (exit-status, stdout, stderr). *)
+let run revkb args =
+  let stdin_r, stdin_w = Unix.pipe () in
+  let out_path = Filename.temp_file "revkb_compose_out" ".txt" in
+  let err_path = Filename.temp_file "revkb_compose_err" ".txt" in
+  let out_fd =
+    Unix.openfile out_path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600
+  in
+  let err_fd =
+    Unix.openfile err_path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600
+  in
+  let pid =
+    Unix.create_process revkb
+      (Array.of_list (revkb :: args))
+      stdin_r out_fd err_fd
+  in
+  Unix.close stdin_r;
+  Unix.close out_fd;
+  Unix.close err_fd;
+  let n = String.length workload in
+  let written = Unix.write_substring stdin_w workload 0 n in
+  if written <> n then fail "short write feeding the serve workload";
+  Unix.close stdin_w;
+  let _, status = Unix.waitpid [] pid in
+  let out = read_all out_path and err = read_all err_path in
+  Sys.remove out_path;
+  Sys.remove err_path;
+  (status, out, err)
+
+let check_common label status out err =
+  (match status with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED c -> fail "%s: serve exited %d" label c
+  | Unix.WSIGNALED s -> fail "%s: serve died by signal %d" label s
+  | Unix.WSTOPPED _ -> fail "%s: serve stopped" label);
+  let replies =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' out)
+  in
+  if List.length replies <> 4 then
+    fail "%s: expected 4 reply lines, got %d:\n%s" label
+      (List.length replies) out;
+  List.iter
+    (fun l ->
+      if not (String.length l > 6 && String.sub l 0 6 = {|{"id":|}) then
+        fail "%s: malformed reply line %S" label l)
+    replies;
+  (* One snapshot per process, no matter how many wrappers ran. *)
+  let snaps = count_substring err "== counters ==" in
+  if snaps <> 1 then
+    fail "%s: expected exactly one stats snapshot, saw %d\nstderr:\n%s" label
+      snaps err
+
+let check_trace label path =
+  let t = String.trim (read_all path) in
+  if
+    not
+      (String.length t >= 2 && t.[0] = '[' && t.[String.length t - 1] = ']')
+  then fail "%s: trace %s is not a complete JSON array" label path;
+  if not (contains t "serve.request") then
+    fail "%s: trace %s has no serve.request spans" label path;
+  Sys.remove path
+
+let check_profile label path =
+  if not (Sys.file_exists path) then
+    fail "%s: profile artifact %s was not written" label path;
+  (* A short run may legitimately catch zero samples; written-complete
+     (file exists, writer announced itself on stderr) is the
+     contract. *)
+  Sys.remove path
+
+let check_metrics label path =
+  let m = read_all path in
+  let eof = "# EOF\n" in
+  let n = String.length m and e = String.length eof in
+  if n < e || String.sub m (n - e) e <> eof then
+    fail "%s: metrics %s does not end with %S" label path eof;
+  if not (contains m "revkb_serve_requests_total") then
+    fail "%s: metrics %s is missing the serve request counter" label path;
+  if not (contains m "revkb_serve_cache_hits_total") then
+    fail "%s: metrics %s is missing the serve cache-hit counter" label path;
+  Sys.remove path
+
+let () =
+  if Array.length Sys.argv < 2 then fail "usage: compose_wrappers.exe REVKB";
+  let revkb = Sys.argv.(1) in
+  let tmp suffix = Filename.temp_file "revkb_compose" suffix in
+
+  (* Order 1: trace outside, profile inside, metrics flag trailing. *)
+  let t1 = tmp ".trace.json"
+  and p1 = tmp ".folded"
+  and m1 = tmp ".om" in
+  let status, out, err =
+    run revkb
+      [
+        "trace"; "-o"; t1; "profile"; "-o"; p1; "--metrics-out"; m1; "serve";
+      ]
+  in
+  check_common "trace>profile" status out err;
+  if not (contains err "trace:") then
+    fail "trace>profile: trace writer never announced itself";
+  if not (contains err "profile:") then
+    fail "trace>profile: profile writer never announced itself";
+  check_trace "trace>profile" t1;
+  check_profile "trace>profile" p1;
+  check_metrics "trace>profile" m1;
+
+  (* Order 2: profile outside, trace inside. *)
+  let t2 = tmp ".trace.json" and p2 = tmp ".folded" in
+  let status, out, err =
+    run revkb [ "profile"; "-o"; p2; "trace"; "-o"; t2; "serve" ]
+  in
+  check_common "profile>trace" status out err;
+  check_trace "profile>trace" t2;
+  check_profile "profile>trace" p2;
+
+  (* Order 3: --metrics-out BEFORE the wrapper — the global strip must
+     lift it out before trace's own prescan runs. *)
+  let t3 = tmp ".trace.json" and m3 = tmp ".om" in
+  let status, out, err =
+    run revkb [ "--metrics-out"; m3; "trace"; "-o"; t3; "serve" ]
+  in
+  check_common "metrics>trace" status out err;
+  check_trace "metrics>trace" t3;
+  check_metrics "metrics>trace" m3;
+
+  print_endline
+    "compose_wrappers: all wrapper orders compose; one snapshot per process"

@@ -1,0 +1,404 @@
+(* The serve tier: protocol JSON, the LRU revision cache, the named-KB
+   registry with epochs, and the request loop's semantics — epoch
+   invalidation, cache hit counters, batch-vs-sequential equality at
+   jobs 1 and 4, and structured errors for malformed input. *)
+
+open Logic
+module Obs = Revkb_obs.Obs
+module Pool = Revkb_parallel.Pool
+module Json = Revkb_serve.Json
+module Lru = Revkb_serve.Lru
+module Registry = Revkb_serve.Registry
+module Server = Revkb_serve.Server
+
+let check_bool = Helpers.check_bool
+let check_int = Helpers.check_int
+let check_str name expected actual =
+  Alcotest.(check string) name expected actual
+
+(* -- json -------------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let cases =
+    [
+      "null";
+      "true";
+      "false";
+      "42";
+      "-7";
+      "[]";
+      "{}";
+      {|"hello"|};
+      {|{"a":1,"b":[true,null,"x"],"c":{"d":-2}}|};
+      {|["nested",[1,2,[3]]]|};
+    ]
+  in
+  List.iter
+    (fun s -> check_str "parse/render fixpoint" s (Json.render (Json.parse s)))
+    cases;
+  (* Escapes decode and re-encode canonically. *)
+  check_str "escapes" {|"a\"b\\c\nd"|}
+    (Json.render (Json.parse {|"a\"b\\c\nd"|}));
+  check_str "unicode escape" "\"\xc3\xa9\""
+    (Json.render (Json.parse {|"é"|}));
+  check_str "whitespace tolerated" {|{"k":[1,2]}|}
+    (Json.render (Json.parse " { \"k\" : [ 1 , 2 ] } "))
+
+let test_json_accessors () =
+  let v = Json.parse {|{"id":7,"verb":"query","deep":{"x":true},"l":[1]}|} in
+  check_bool "member" true (Json.member "deep" v <> None);
+  check_bool "absent member" true (Json.member "nope" v = None);
+  check_int "int_member" 7 (Option.get (Json.int_member "id" v));
+  check_str "str_member" "query" (Option.get (Json.str_member "verb" v));
+  check_bool "bool_member nested" true
+    (Option.get (Json.bool_member "x" (Option.get (Json.member "deep" v))));
+  check_int "list_member" 1
+    (List.length (Option.get (Json.list_member "l" v)))
+
+let test_json_errors () =
+  let bad s =
+    match Json.parse s with
+    | exception Json.Parse_error _ -> true
+    | _ -> false
+  in
+  List.iter
+    (fun s -> check_bool ("rejects " ^ s) true (bad s))
+    [
+      "";
+      "{";
+      "[1,";
+      {|{"a"}|};
+      {|"unterminated|};
+      "tru";
+      "1 2";
+      {|{"a":1,}|};
+      "nan";
+    ]
+
+(* -- lru --------------------------------------------------------------------- *)
+
+let test_lru_basic () =
+  let evicted = ref [] in
+  let c = Lru.create ~on_evict:(fun k _ -> evicted := k :: !evicted) 2 in
+  check_int "capacity" 2 (Lru.capacity c);
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  check_int "length" 2 (Lru.length c);
+  check_bool "mem" true (Lru.mem c "a");
+  (* Touch "a" so "b" is the LRU victim. *)
+  check_int "find refreshes" 1 (Option.get (Lru.find c "a"));
+  Lru.add c "c" 3;
+  check_bool "b evicted" true (!evicted = [ "b" ]);
+  check_bool "a kept" true (Lru.mem c "a");
+  check_bool "c kept" true (Lru.mem c "c");
+  check_bool "find miss" true (Lru.find c "b" = None);
+  Lru.remove c "a";
+  check_bool "removed" true (not (Lru.mem c "a"));
+  check_bool "remove is not eviction" true (!evicted = [ "b" ])
+
+let test_lru_churn () =
+  (* Many touches of few keys: the stamp queue must compact and the
+     recency order must stay exact. *)
+  let c = Lru.create 3 in
+  for i = 0 to 999 do
+    Lru.add c (string_of_int (i mod 3)) i;
+    ignore (Lru.find c (string_of_int (i mod 2)))
+  done;
+  check_int "bounded" 3 (Lru.length c);
+  (* Touch "0", then displace two slots: the two untouched survivors
+     of the loop go, the freshly touched key stays. *)
+  ignore (Lru.find c "0");
+  Lru.add c "x" 0;
+  Lru.add c "y" 0;
+  check_bool "recency respected" true (Lru.mem c "0")
+
+(* -- helpers over the server ------------------------------------------------- *)
+
+(* Drive the Json-level entry point directly: a parse/render
+   round-trip per request also exercises [Server.handle]. *)
+let send srv line = Server.handle srv (Json.parse line)
+
+let sendf srv fmt = Printf.ksprintf (send srv) fmt
+
+let is_ok v = Json.bool_member "ok" v = Some true
+
+let get_int field v = Option.get (Json.int_member field v)
+
+let get_bool field v = Option.get (Json.bool_member field v)
+
+let error_code v = Option.get (Json.str_member "error" v)
+
+(* -- registry ---------------------------------------------------------------- *)
+
+let test_registry_lifecycle () =
+  let srv = Server.create () in
+  let r =
+    send srv {|{"verb":"load","kb":"k","theory":"a; a -> b"}|}
+  in
+  check_bool "load ok" true (is_ok r);
+  check_int "fresh epoch" 0 (get_int "epoch" r);
+  check_int "letters" 2 (get_int "letters" r);
+  let reg = Server.registry srv in
+  check_bool "names" true (Registry.names reg = [ "k" ]);
+  let e = Option.get (Registry.find reg "k") in
+  let s1 = Registry.session e in
+  let s2 = Registry.session e in
+  check_bool "session pooled" true (s1 == s2);
+  (* Reload of the same name is an update: epoch bumps, session drops. *)
+  let r2 = send srv {|{"verb":"load","kb":"k","theory":"a & ~b"}|} in
+  check_int "reload bumps epoch" 1 (get_int "epoch" r2);
+  check_bool "session invalidated" true (e.Registry.session = None);
+  check_bool "compiled starts empty" true (Registry.compiled e = None)
+
+(* -- epoch invalidation and cache counters ----------------------------------- *)
+
+let test_epoch_invalidation () =
+  let srv = Server.create () in
+  let hits = Obs.counter "serve.cache.hits" in
+  let misses = Obs.counter "serve.cache.misses" in
+  let h0 = Obs.value hits and m0 = Obs.value misses in
+  ignore (send srv {|{"verb":"load","kb":"k","theory":"a & b & c"}|});
+  let r1 = send srv {|{"verb":"revise","kb":"k","op":"dalal","p":"~a | ~b"}|} in
+  check_bool "first revise is a miss" true (not (get_bool "cached" r1));
+  let r2 = send srv {|{"verb":"revise","kb":"k","op":"dalal","p":"~a | ~b"}|} in
+  check_bool "identical revise hits" true (get_bool "cached" r2);
+  check_int "same size from cache" (get_int "size" r1) (get_int "size" r2);
+  check_int "hit counter" (h0 + 1) (Obs.value hits);
+  check_int "miss counter" (m0 + 1) (Obs.value misses);
+  (* Entailment through the cached revision: a & b & c * (~a | ~b)
+     keeps c (Dalal distance 1).  Note "~a | ~b" vs "~a|~b": the key
+     normalizes the parsed formula, so spelling differences hit. *)
+  let q =
+    send srv {|{"verb":"query","kb":"k","op":"dalal","p":"~a|~b","q":"c"}|}
+  in
+  check_bool "revised entailment" true (get_bool "entails" q);
+  check_bool "query hit the revision cache" true (get_bool "cached" q);
+  check_int "hit counter after query" (h0 + 2) (Obs.value hits);
+  (* A different P of the same KB misses. *)
+  let r3 = send srv {|{"verb":"revise","kb":"k","op":"dalal","p":"~c"}|} in
+  check_bool "different P misses" true (not (get_bool "cached" r3));
+  (* update bumps the epoch: the SAME request must now miss. *)
+  let u = send srv {|{"verb":"update","kb":"k","op":"dalal","p":"~c"}|} in
+  check_bool "update reuses the cached revision" true (get_bool "cached" u);
+  check_int "update bumps epoch" 1 (get_int "epoch" u);
+  let r4 = send srv {|{"verb":"revise","kb":"k","op":"dalal","p":"~a | ~b"}|} in
+  check_bool "cache misses after epoch bump" true (not (get_bool "cached" r4))
+
+(* -- pooled sessions and the bdd route --------------------------------------- *)
+
+let test_query_routes () =
+  let srv = Server.create () in
+  let builds = Obs.counter "serve.session.builds" in
+  let reuse = Obs.counter "serve.session.reuse" in
+  let b0 = Obs.value builds in
+  ignore (send srv {|{"verb":"load","kb":"k","theory":"a; a -> b"}|});
+  let q1 = send srv {|{"verb":"query","kb":"k","q":"b"}|} in
+  check_bool "entails" true (get_bool "entails" q1);
+  check_str "session route" "session"
+    (Option.get (Json.str_member "route" q1));
+  check_int "one session built" (b0 + 1) (Obs.value builds);
+  let r0 = Obs.value reuse in
+  let q2 = send srv {|{"verb":"query","kb":"k","q":"a & b"}|} in
+  check_bool "entails 2" true (get_bool "entails" q2);
+  check_int "session reused" (r0 + 1) (Obs.value reuse);
+  check_int "no second build" (b0 + 1) (Obs.value builds);
+  (* Compile flips the route; answers agree. *)
+  let c = send srv {|{"verb":"compile","kb":"k"}|} in
+  check_bool "compile ok" true (is_ok c);
+  let q3 = send srv {|{"verb":"query","kb":"k","q":"b"}|} in
+  check_str "bdd route" "bdd" (Option.get (Json.str_member "route" q3));
+  check_bool "bdd agrees" true (get_bool "entails" q3);
+  let n = send srv {|{"verb":"count","kb":"k"}|} in
+  check_int "count via bdd" 1 (get_int "models" n);
+  check_str "count route" "bdd" (Option.get (Json.str_member "route" n))
+
+let test_count_session_route () =
+  let srv = Server.create () in
+  ignore (send srv {|{"verb":"load","kb":"k","theory":"a | b"}|});
+  let n = send srv {|{"verb":"count","kb":"k"}|} in
+  check_int "count via session" 3 (get_int "models" n);
+  check_str "route" "session" (Option.get (Json.str_member "route" n))
+
+(* -- batch semantics ---------------------------------------------------------- *)
+
+let batch_line =
+  {|{"verb":"batch","requests":[
+      {"id":"c1","verb":"check","kb":"k","op":"dalal","p":"~a | ~b","models":["c","a c","a b c",""]},
+      {"id":"q1","verb":"query","kb":"k","q":"a"},
+      {"id":"c2","verb":"check","kb":"k","op":"dalal","p":"~a | ~b","models":["b c","a b"]},
+      {"id":"s1","verb":"stats"}]}|}
+  |> String.split_on_char '\n'
+  |> List.map String.trim |> String.concat ""
+
+let run_batch jobs =
+  Pool.with_jobs jobs (fun () ->
+      let srv = Server.create () in
+      ignore (send srv {|{"verb":"load","kb":"k","theory":"a & b & c"}|});
+      Server.handle_line srv batch_line)
+
+let test_batch_equality () =
+  let r1 = run_batch 1 and r4 = run_batch 4 in
+  check_str "batch jobs=1 = jobs=4" r1 r4;
+  (* The grouped answers equal one-at-a-time model checks. *)
+  let v = Json.parse r1 in
+  let responses = Option.get (Json.list_member "responses" v) in
+  check_int "all answered" 4 (List.length responses);
+  let t = Formula.and_ [ Formula.v "a"; Formula.v "b"; Formula.v "c" ] in
+  let p =
+    Formula.or_ [ Formula.not_ (Formula.v "a"); Formula.not_ (Formula.v "b") ]
+  in
+  let expect ms =
+    List.map
+      (fun s ->
+        let n =
+          Interp.of_list
+            (List.filter_map
+               (fun w -> if w = "" then None else Some (Var.named w))
+               (String.split_on_char ' ' s))
+        in
+        Compact.Check.model_check Revision.Model_based.Dalal t p n)
+      ms
+  in
+  let results_of r =
+    List.map
+      (function Json.Bool b -> b | _ -> assert false)
+      (Option.get (Json.list_member "results" r))
+  in
+  let by_id id =
+    List.find (fun r -> Json.str_member "id" r = Some id) responses
+  in
+  check_bool "c1 = pointwise" true
+    (results_of (by_id "c1") = expect [ "c"; "a c"; "a b c"; "" ]);
+  check_bool "c2 = pointwise" true
+    (results_of (by_id "c2") = expect [ "b c"; "a b" ]);
+  check_bool "grouped counter moved" true
+    (Obs.value (Obs.counter "serve.batch.groups") > 0)
+
+let test_batch_rejects_mutators () =
+  let srv = Server.create () in
+  ignore (send srv {|{"verb":"load","kb":"k","theory":"a"}|});
+  let v =
+    send srv
+      {|{"verb":"batch","requests":[{"id":1,"verb":"load","kb":"x","theory":"a"},{"id":2,"verb":"query","kb":"k","q":"a"}]}|}
+  in
+  let responses = Option.get (Json.list_member "responses" v) in
+  let r1 = List.nth responses 0 and r2 = List.nth responses 1 in
+  check_str "load refused in batch" "not_batchable" (error_code r1);
+  check_bool "sibling still answered" true (get_bool "entails" r2)
+
+(* -- structured errors -------------------------------------------------------- *)
+
+let test_errors () =
+  let srv = Server.create () in
+  check_str "malformed json" "bad_json"
+    (error_code (Json.parse (Server.handle_line srv "this is not json")));
+  check_str "non-object" "bad_request" (error_code (send srv "[1,2]"));
+  check_str "no verb" "missing_field" (error_code (send srv "{}"));
+  check_str "unknown verb" "unknown_verb"
+    (error_code (send srv {|{"verb":"frobnicate"}|}));
+  check_str "unknown kb" "unknown_kb"
+    (error_code (send srv {|{"verb":"query","kb":"ghost","q":"a"}|}));
+  ignore (send srv {|{"verb":"load","kb":"k","theory":"a"}|});
+  check_str "unknown op" "unknown_op"
+    (error_code (send srv {|{"verb":"revise","kb":"k","op":"gfuv","p":"a"}|}));
+  check_str "syntax error" "syntax_error"
+    (error_code (send srv {|{"verb":"revise","kb":"k","op":"dalal","p":"(("}|}));
+  check_str "unsat P" "invalid"
+    (error_code
+       (send srv {|{"verb":"revise","kb":"k","op":"dalal","p":"a & ~a"}|}));
+  check_str "bad theory" "syntax_error"
+    (error_code (send srv {|{"verb":"load","kb":"z","theory":"&&&"}|}));
+  (* The error id echo. *)
+  let v = send srv {|{"id":99,"verb":"nope"}|} in
+  check_int "id echoed on errors" 99 (get_int "id" v);
+  (* The daemon survived all of the above. *)
+  check_bool "still serving" true
+    (is_ok (send srv {|{"verb":"query","kb":"k","q":"a"}|}))
+
+let test_shutdown_verb () =
+  let srv = Server.create () in
+  check_bool "not stopping" true (not (Server.stopping srv));
+  let v = send srv {|{"verb":"shutdown"}|} in
+  check_bool "ack" true (is_ok v);
+  check_bool "stopping" true (Server.stopping srv)
+
+let test_stats_shape () =
+  let srv = Server.create () in
+  ignore (send srv {|{"verb":"load","kb":"k","theory":"a"}|});
+  ignore (Server.handle_line srv "garbage");
+  let v = send srv {|{"verb":"stats"}|} in
+  check_int "kbs" 1 (get_int "kbs" v);
+  check_int "requests include this one" 3 (get_int "requests" v);
+  check_int "errors" 1 (get_int "errors" v);
+  check_int "no cache traffic yet" 0 (get_int "cache_hits" v);
+  check_int "cache empty" 0 (get_int "cache_entries" v)
+
+(* Cached and recomputed answers must be bit-identical: drive the same
+   query on a cache-cap-1 server (forced recompute) and a roomy one. *)
+let test_cached_equals_recomputed () =
+  let roomy = Server.create () in
+  let tight = Server.create ~cache_cap:1 () in
+  List.iter
+    (fun srv ->
+      ignore (send srv {|{"verb":"load","kb":"k","theory":"a & b & c"}|}))
+    [ roomy; tight ];
+  let interleave srv =
+    (* Alternate two P's: the tight cache thrashes (every revise is a
+       miss after the first pair), the roomy one hits. *)
+    List.map
+      (fun p ->
+        let v =
+          sendf srv {|{"verb":"query","kb":"k","op":"dalal","p":"%s","q":"c"}|}
+            p
+        in
+        get_bool "entails" v)
+      [ "~a | ~b"; "~c"; "~a | ~b"; "~c"; "~a | ~b" ]
+  in
+  let a = interleave roomy and b = interleave tight in
+  check_bool "cached = recomputed" true (a = b);
+  check_bool "tight cache stayed bounded" true
+    (get_int "cache_entries" (send tight {|{"verb":"stats"}|}) <= 1)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+          Alcotest.test_case "rejects malformed" `Quick test_json_errors;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "basic order" `Quick test_lru_basic;
+          Alcotest.test_case "churn stays bounded" `Quick test_lru_churn;
+        ] );
+      ( "registry",
+        [ Alcotest.test_case "lifecycle" `Quick test_registry_lifecycle ] );
+      ( "cache",
+        [
+          Alcotest.test_case "epoch invalidation" `Quick
+            test_epoch_invalidation;
+          Alcotest.test_case "cached = recomputed" `Quick
+            test_cached_equals_recomputed;
+        ] );
+      ( "routes",
+        [
+          Alcotest.test_case "session and bdd" `Quick test_query_routes;
+          Alcotest.test_case "count via session" `Quick
+            test_count_session_route;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "jobs 1 = jobs 4 = pointwise" `Quick
+            test_batch_equality;
+          Alcotest.test_case "mutators refused" `Quick
+            test_batch_rejects_mutators;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "structured" `Quick test_errors;
+          Alcotest.test_case "shutdown verb" `Quick test_shutdown_verb;
+          Alcotest.test_case "stats shape" `Quick test_stats_shape;
+        ] );
+    ]
